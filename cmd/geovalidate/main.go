@@ -1,0 +1,77 @@
+// Command geovalidate runs the §4–§5 validation pipeline on a saved
+// dataset: visit detection, checkin-to-visit matching (α = 500 m,
+// β = 30 min), the Figure 1 partition, and the extraneous-checkin
+// taxonomy.
+//
+// Usage:
+//
+//	geovalidate -in primary.json.gz
+//	geovalidate -in primary.json.gz -alpha 250 -beta 15m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"geosocial"
+	"geosocial/internal/classify"
+	"geosocial/internal/core"
+	"geosocial/internal/visits"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geovalidate: ")
+	var (
+		in    = flag.String("in", "", "dataset file (JSON, .gz supported)")
+		alpha = flag.Float64("alpha", 500, "spatial matching threshold in meters")
+		beta  = flag.Duration("beta", 30*time.Minute, "temporal matching threshold")
+		truth = flag.Bool("truth", true, "score the matcher against ground-truth labels when present")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("missing -in dataset file (generate one with geogen)")
+	}
+	ds, err := geosocial.LoadDataset(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v := &core.Validator{
+		Params:      core.Params{Alpha: *alpha, Beta: *beta},
+		VisitConfig: visits.DefaultConfig(),
+	}
+	outs, part, err := v.ValidateDataset(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %q: %d users\n", ds.Name, len(ds.Users))
+	fmt.Printf("matching (alpha=%.0fm beta=%v): %v\n", *alpha, *beta, part)
+
+	cls, err := classify.ClassifyAll(outs, classify.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tot := classify.Totals(cls)
+	fmt.Println("checkin taxonomy:")
+	for _, k := range []classify.Kind{classify.Honest, classify.Superfluous, classify.Remote, classify.Driveby, classify.Other} {
+		n := tot[k]
+		fmt.Printf("  %-12s %6d (%.1f%%)\n", k, n, 100*float64(n)/maxf(float64(part.Checkins), 1))
+	}
+
+	if *truth {
+		if sc, err := core.ScoreAgainstTruth(outs); err == nil {
+			fmt.Printf("matcher vs ground truth: accuracy %.3f, honest precision %.3f, recall %.3f\n",
+				sc.Accuracy, sc.HonestP, sc.HonestR)
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+// Citytraffic: the §6 discussion's city-planning scenario. A planner
+// estimating commute traffic between residential areas and offices from
+// checkin data (as Tampa's master plan proposed with Foursquare data)
+// undercounts those trips badly, because home and office are exactly the
+// "boring" places users never check in at. This example measures
+// origin–destination trip counts between POI categories from the GPS
+// ground truth, the full checkin trace, and the honest subset.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"geosocial"
+	"geosocial/internal/core"
+	"geosocial/internal/poi"
+	"geosocial/internal/trace"
+)
+
+// tripKind classifies an origin–destination pair of categories.
+func tripKind(from, to poi.Category) string {
+	isHome := func(c poi.Category) bool { return c == poi.Residence }
+	isWork := func(c poi.Category) bool { return c == poi.Professional || c == poi.College }
+	switch {
+	case isHome(from) && isWork(to), isWork(from) && isHome(to):
+		return "commute (home<->work)"
+	case isHome(from) || isHome(to):
+		return "home<->other"
+	default:
+		return "other<->other"
+	}
+}
+
+// maxTripGap bounds the time between consecutive observations treated as
+// one trip.
+const maxTripGap = 4 * time.Hour
+
+// visitTrips counts trips between consecutive GPS visits.
+func visitTrips(outs []core.UserOutcome, counts map[string]float64) {
+	for _, o := range outs {
+		for i := 1; i < len(o.Visits); i++ {
+			a, b := o.Visits[i-1], o.Visits[i]
+			if time.Duration(b.Start-a.End)*time.Second > maxTripGap {
+				continue
+			}
+			counts[tripKind(a.Category, b.Category)]++
+		}
+	}
+}
+
+// checkinTrips counts trips between consecutive checkins (all or honest).
+func checkinTrips(outs []core.UserOutcome, honestOnly bool, counts map[string]float64) {
+	for _, o := range outs {
+		matched := map[int]bool{}
+		for _, m := range o.Match.Matches {
+			matched[m.CheckinIdx] = true
+		}
+		var prev *trace.Checkin
+		for i := range o.User.Checkins {
+			c := &o.User.Checkins[i]
+			if honestOnly && !matched[i] {
+				continue
+			}
+			if prev != nil && time.Duration(c.T-prev.T)*time.Second <= maxTripGap {
+				counts[tripKind(prev.Category, c.Category)]++
+			}
+			prev = c
+		}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+
+	study, err := geosocial.GenerateStudy(geosocial.StudyConfig{Scale: 0.15, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gps := map[string]float64{}
+	all := map[string]float64{}
+	honest := map[string]float64{}
+	visitTrips(res.Outcomes, gps)
+	checkinTrips(res.Outcomes, false, all)
+	checkinTrips(res.Outcomes, true, honest)
+
+	var userDays float64
+	for _, u := range study.Primary.Users {
+		userDays += u.Days
+	}
+
+	fmt.Println("origin-destination trips per user-day, by data source:")
+	fmt.Printf("%-24s %-10s %-13s %-15s\n", "trip class", "GPS truth", "all checkins", "honest checkins")
+	for _, k := range []string{"commute (home<->work)", "home<->other", "other<->other"} {
+		fmt.Printf("%-24s %-10.2f %-13.2f %-15.2f\n",
+			k, gps[k]/userDays, all[k]/userDays, honest[k]/userDays)
+	}
+
+	commuteGPS := gps["commute (home<->work)"]
+	commuteAll := all["commute (home<->work)"]
+	if commuteGPS > 0 {
+		fmt.Printf("\ncheckin data captures %.1f%% of real commute trips —\n",
+			100*commuteAll/commuteGPS)
+		fmt.Println("a planner sizing roads between residential areas and offices from")
+		fmt.Println("geosocial traces would underestimate exactly the traffic that")
+		fmt.Println("matters (the paper's Tampa example).")
+	}
+}

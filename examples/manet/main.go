@@ -1,0 +1,67 @@
+// MANET: the §6 application-impact experiment end to end — fit Levy-walk
+// mobility models to the GPS, honest-checkin and all-checkin traces, run
+// an AODV mobile ad hoc network under each, and compare the three paper
+// metrics. The takeaway reproduced here: traces built from checkins give
+// materially wrong answers about network performance, and even removing
+// every extraneous checkin does not fix them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geosocial"
+	"geosocial/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	study, err := geosocial.GenerateStudy(geosocial.StudyConfig{Scale: 0.15, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := study.Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	models, err := res.MobilityModels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fitted Levy-walk models (Figure 7):")
+	fmt.Printf("  %v\n  %v\n  %v\n", models.GPS, models.Honest, models.All)
+
+	// A reduced arena keeps the example under a minute; cmd/manetsim
+	// runs the paper's full 200-node hour.
+	outs, err := res.RunMANET(geosocial.MANETConfig{
+		Nodes: 80, Flows: 40, Duration: 900, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nMANET metrics (Figure 8), mean over flows:")
+	fmt.Printf("%-16s %-13s %-13s %-18s\n", "model", "changes/min", "availability", "overhead (median)")
+	var gpsAvail, honestAvail float64
+	for _, o := range outs {
+		m := o.Metrics
+		avail := stats.Mean(m.Availability)
+		fmt.Printf("%-16s %-13.3f %-13.3f %-18.2f\n",
+			o.Model, stats.Mean(m.RouteChangesPerMin), avail, stats.Quantile(m.Overhead, 0.5))
+		switch o.Model {
+		case "gps":
+			gpsAvail = avail
+		case "honest-checkin":
+			honestAvail = avail
+		}
+	}
+	if gpsAvail > 0 {
+		fmt.Printf("\nhonest-checkin availability is %.1fx the GPS ground truth", honestAvail/gpsAvail)
+		fmt.Println(" (paper: ~2x) —")
+		fmt.Println("a trace-driven study would overestimate route stability even after")
+		fmt.Println("perfectly filtering all fake checkins, because the missing checkins")
+		fmt.Println("(commutes, routine stops) hide most of the real movement.")
+	}
+}

@@ -1,0 +1,257 @@
+// Package geosocial validates geosocial mobility traces against
+// ground-truth GPS mobility, reproducing "On the Validity of Geosocial
+// Mobility Traces" (Zhang et al., HotNets 2013).
+//
+// The package is a facade over the full pipeline:
+//
+//   - generate (or load) a study dataset of paired GPS + checkin traces,
+//   - detect visits (stay points) in the GPS traces,
+//   - match checkins to visits (α = 500 m, β = 30 min) and partition
+//     events into honest / extraneous / missing,
+//   - classify extraneous checkins (superfluous / remote / driveby),
+//   - analyze incentive correlations, prevalence and burstiness,
+//   - fit Levy-walk mobility models and measure the application-level
+//     impact on a simulated mobile ad hoc network (AODV).
+//
+// Quick start:
+//
+//	study, err := geosocial.GenerateStudy(geosocial.StudyConfig{Scale: 0.2, Seed: 42})
+//	...
+//	res, err := study.Validate()
+//	fmt.Println(res.Partition)          // Figure 1
+//	fmt.Println(res.Breakdown())        // §5.1 taxonomy
+//
+// The full experiment suite (every table and figure in the paper) is
+// available through Experiments / RunExperiment.
+package geosocial
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"geosocial/internal/classify"
+	"geosocial/internal/core"
+	"geosocial/internal/detect"
+	"geosocial/internal/eval"
+	"geosocial/internal/levy"
+	"geosocial/internal/manet"
+	recoverpkg "geosocial/internal/recover"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+	"geosocial/internal/trace"
+)
+
+// StudyConfig configures synthetic study generation.
+type StudyConfig struct {
+	// Scale is the population scale relative to the paper's study
+	// (1.0 = 244 primary + 47 baseline users). Values in (0, 1] trade
+	// fidelity for speed; 0 defaults to 1.0.
+	Scale float64
+	// Seed makes the whole study reproducible.
+	Seed uint64
+}
+
+// Study is a generated (or loaded) pair of datasets.
+type Study struct {
+	Primary  *trace.Dataset
+	Baseline *trace.Dataset
+	cfg      StudyConfig
+}
+
+// GenerateStudy produces the synthetic Primary and Baseline datasets
+// (the substitution for the paper's user study; see DESIGN.md).
+func GenerateStudy(cfg StudyConfig) (*Study, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("geosocial: negative scale %g", cfg.Scale)
+	}
+	root := rng.New(cfg.Seed)
+	primary, err := synth.Generate(synth.PrimaryConfig().Scale(cfg.Scale), root.Split("primary"))
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	baseline, err := synth.Generate(synth.BaselineConfig().Scale(cfg.Scale), root.Split("baseline"))
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	return &Study{Primary: primary, Baseline: baseline, cfg: cfg}, nil
+}
+
+// LoadDataset reads a dataset saved by Dataset.SaveFile / cmd/geogen.
+func LoadDataset(path string) (*trace.Dataset, error) { return trace.LoadFile(path) }
+
+// ValidationResult is the outcome of the §4 pipeline on one dataset.
+type ValidationResult struct {
+	// Outcomes holds per-user visits and matches.
+	Outcomes []core.UserOutcome
+	// Partition is the Figure 1 Venn split.
+	Partition core.Partition
+	// Classifications assigns a Kind to every checkin (parallel to
+	// Outcomes and each user's checkin trace).
+	Classifications []*classify.Classification
+}
+
+// Validate runs visit detection, matching and classification on the
+// Primary dataset with the paper's parameters.
+func (s *Study) Validate() (*ValidationResult, error) {
+	return ValidateDataset(s.Primary)
+}
+
+// ValidateDataset runs the full validation pipeline on any dataset.
+func ValidateDataset(ds *trace.Dataset) (*ValidationResult, error) {
+	outs, part, err := core.NewValidator().ValidateDataset(ds)
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	cls, err := classify.ClassifyAll(outs, classify.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	return &ValidationResult{Outcomes: outs, Partition: part, Classifications: cls}, nil
+}
+
+// Breakdown returns the §5.1 taxonomy counts over all checkins.
+func (r *ValidationResult) Breakdown() map[string]int {
+	tot := classify.Totals(r.Classifications)
+	out := make(map[string]int, classify.NumKinds)
+	for k, v := range tot {
+		out[k.String()] = v
+	}
+	return out
+}
+
+// TruthScore scores the matcher against generator ground-truth labels
+// (synthetic data only).
+func (r *ValidationResult) TruthScore() (core.TruthScore, error) {
+	return core.ScoreAgainstTruth(r.Outcomes)
+}
+
+// Correlations computes the Table 2 matrix.
+func (r *ValidationResult) Correlations() (*classify.FeatureCorrelations, error) {
+	return classify.CorrelateFeatures(r.Outcomes, r.Classifications)
+}
+
+// FilterTradeoff computes the §5.3 user-filtering trade-off curve.
+func (r *ValidationResult) FilterTradeoff() classify.FilterTradeoff {
+	return classify.ComputeFilterTradeoff(r.Classifications)
+}
+
+// BurstDetector evaluates the §7 burstiness-based extraneous-checkin
+// detector at the given gap threshold.
+func (r *ValidationResult) BurstDetector(maxGap time.Duration) classify.DetectorScore {
+	d := classify.BurstDetector{MaxGap: maxGap}
+	return classify.EvaluateBurstDetector(r.Outcomes, r.Classifications, d)
+}
+
+// TrainDetector trains the §7 machine-learned extraneous-checkin detector
+// (logistic regression over trace-local features) and evaluates it by
+// k-fold cross-validation grouped by user.
+func (r *ValidationResult) TrainDetector(folds int) (detect.Score, error) {
+	examples := detect.ExtractAll(r.Outcomes)
+	return detect.CrossValidate(examples, folds, detect.DefaultTrainConfig(), 0.5)
+}
+
+// RecoverMissing evaluates the §7 missing-location recovery: inferring
+// home/work anchors from checkins alone and up-sampling the trace,
+// scored as ground-truth visit coverage before and after.
+func (r *ValidationResult) RecoverMissing() (recoverpkg.Coverage, error) {
+	return recoverpkg.EvaluateAll(r.Outcomes, core.DefaultParams())
+}
+
+// MobilityModels fits the three §6.1 Levy-walk models (gps,
+// honest-checkin, all-checkin).
+func (r *ValidationResult) MobilityModels() (*eval.Models, error) {
+	return eval.FitModels(r.Outcomes)
+}
+
+// MANETConfig configures the §6.2 application-impact experiment.
+type MANETConfig struct {
+	Nodes    int     // default 200
+	Flows    int     // default 100
+	Duration float64 // seconds, default 3600
+	Seed     uint64
+}
+
+// MANETOutcome is the result of one model's simulation.
+type MANETOutcome struct {
+	Model   string
+	Metrics *manet.Metrics
+}
+
+// RunMANET fits the three mobility models from this validation result and
+// runs the AODV simulation for each.
+func (r *ValidationResult) RunMANET(cfg MANETConfig) ([]MANETOutcome, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 200
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 100
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 3600
+	}
+	ctx := &eval.Context{PrimaryOuts: r.Outcomes}
+	res, err := eval.RunMANET(ctx, eval.MANETScale{
+		Nodes: cfg.Nodes, Flows: cfg.Flows, Duration: cfg.Duration,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	out := make([]MANETOutcome, len(res))
+	for i, m := range res {
+		out[i] = MANETOutcome{Model: m.Model, Metrics: m.Metrics}
+	}
+	return out, nil
+}
+
+// GenerateMobility produces planar waypoint traces from a fitted model —
+// the building block for driving external network simulators.
+func GenerateMobility(m *levy.Model, nodes int, opt levy.GenOptions, seed uint64) ([][]levy.Waypoint, error) {
+	return m.Generate(nodes, opt, rng.New(seed))
+}
+
+// Experiments returns the experiment IDs in presentation order (every
+// table and figure in the paper).
+func Experiments() []string { return eval.IDs() }
+
+// RunExperiment executes one experiment at the study's scale and writes
+// its report to w.
+func (s *Study) RunExperiment(id string, w io.Writer) error {
+	ctx, err := s.evalContext()
+	if err != nil {
+		return err
+	}
+	rep, err := eval.Run(ctx, id)
+	if err != nil {
+		return fmt.Errorf("geosocial: %w", err)
+	}
+	return rep.Render(w)
+}
+
+// evalContext adapts the study to the experiment harness.
+func (s *Study) evalContext() (*eval.Context, error) {
+	ctx := &eval.Context{
+		Scale:    s.cfg.Scale,
+		Seed:     s.cfg.Seed,
+		Primary:  s.Primary,
+		Baseline: s.Baseline,
+	}
+	v := core.NewValidator()
+	var err error
+	ctx.PrimaryOuts, ctx.PrimaryPart, err = v.ValidateDataset(s.Primary)
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	ctx.BaselineOuts, ctx.BaselinePart, err = v.ValidateDataset(s.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	ctx.Cls, err = classify.ClassifyAll(ctx.PrimaryOuts, classify.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	return ctx, nil
+}

@@ -1,0 +1,198 @@
+package geosocial
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallStudy is shared across facade tests (generation dominates).
+var smallStudy *Study
+
+func getStudy(t *testing.T) *Study {
+	t.Helper()
+	if smallStudy == nil {
+		s, err := GenerateStudy(StudyConfig{Scale: 0.08, Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallStudy = s
+	}
+	return smallStudy
+}
+
+func TestGenerateStudyDefaultsAndErrors(t *testing.T) {
+	if _, err := GenerateStudy(StudyConfig{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	s := getStudy(t)
+	if len(s.Primary.Users) == 0 || len(s.Baseline.Users) == 0 {
+		t.Fatal("empty datasets")
+	}
+	if s.Primary.Name != "primary" || s.Baseline.Name != "baseline" {
+		t.Errorf("dataset names %q/%q", s.Primary.Name, s.Baseline.Name)
+	}
+}
+
+func TestValidatePipelineEndToEnd(t *testing.T) {
+	s := getStudy(t)
+	res, err := s.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Partition
+	if p.Checkins == 0 || p.Visits == 0 {
+		t.Fatal("empty partition")
+	}
+	if er := p.ExtraneousRatio(); er < 0.5 || er > 0.92 {
+		t.Errorf("extraneous ratio %.2f outside sane band", er)
+	}
+	bd := res.Breakdown()
+	total := 0
+	for _, n := range bd {
+		total += n
+	}
+	if total != p.Checkins {
+		t.Errorf("breakdown sums to %d, partition has %d checkins", total, p.Checkins)
+	}
+	sc, err := res.TruthScore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Accuracy < 0.85 {
+		t.Errorf("matcher accuracy %.3f", sc.Accuracy)
+	}
+}
+
+func TestFacadeAnalyses(t *testing.T) {
+	s := getStudy(t)
+	res, err := s.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Correlations(); err != nil {
+		t.Errorf("correlations: %v", err)
+	}
+	ft := res.FilterTradeoff()
+	if len(ft.UsersDropped) == 0 {
+		t.Error("empty trade-off curve")
+	}
+	sc := res.BurstDetector(2 * time.Minute)
+	if sc.TP+sc.FP+sc.TN+sc.FN != res.Partition.Checkins {
+		t.Error("detector did not see every checkin")
+	}
+	models, err := res.MobilityModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !models.Honest.HasPause() || !models.All.HasPause() {
+		t.Error("checkin models missing grafted pauses")
+	}
+	cov, err := res.RecoverMissing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.AfterRatio() < cov.BeforeRatio() {
+		t.Errorf("recovery reduced coverage: %.3f -> %.3f", cov.BeforeRatio(), cov.AfterRatio())
+	}
+}
+
+func TestFacadeDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := getStudy(t)
+	res, err := s.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := res.TrainDetector(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.F1() < 0.6 {
+		t.Errorf("learned detector F1 %.3f", sc.F1())
+	}
+}
+
+func TestFacadeMANETQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := getStudy(t)
+	res, err := s.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := res.RunMANET(MANETConfig{Nodes: 40, Flows: 10, Duration: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("models = %d, want 3", len(outs))
+	}
+	names := map[string]bool{}
+	for _, o := range outs {
+		names[o.Model] = true
+		if len(o.Metrics.Availability) != 10 {
+			t.Errorf("%s: %d flows, want 10", o.Model, len(o.Metrics.Availability))
+		}
+	}
+	for _, want := range []string{"gps", "honest-checkin", "all-checkin"} {
+		if !names[want] {
+			t.Errorf("missing model %q", want)
+		}
+	}
+}
+
+func TestDatasetSaveLoadThroughFacade(t *testing.T) {
+	s := getStudy(t)
+	path := filepath.Join(t.TempDir(), "p.json.gz")
+	if err := s.Primary.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != len(s.Primary.Users) {
+		t.Fatal("round trip lost users")
+	}
+	if _, err := ValidateDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentRendering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	s := getStudy(t)
+	var buf bytes.Buffer
+	if err := s.RunExperiment("fig1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "extraneous") {
+		t.Errorf("fig1 report missing content:\n%s", out)
+	}
+	if err := s.RunExperiment("nope", &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 10 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	want := map[string]bool{"table1": true, "table2": true, "fig8": true}
+	for _, id := range ids {
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing experiments: %v", want)
+	}
+}

@@ -1,0 +1,245 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"geosocial/internal/core"
+	"geosocial/internal/stats"
+)
+
+// FeatureCorrelations is the Table 2 matrix: for each checkin kind, the
+// Pearson correlation between users' per-kind checkin ratio and each of
+// the four profile features.
+type FeatureCorrelations struct {
+	// Rows maps a kind to its four correlations in the order
+	// [friends, badges, mayors, checkins/day].
+	Rows map[Kind][4]float64
+	// Users is the number of users contributing to the correlations.
+	Users int
+}
+
+// FeatureNames are the Table 2 column headers.
+func FeatureNames() []string {
+	return []string{"#Friends", "#Badges", "#Mayors", "#Checkins/Day"}
+}
+
+// CorrelateFeatures computes Table 2 over the matched and classified
+// users. Users with no checkins are skipped (their ratios are undefined).
+func CorrelateFeatures(outs []core.UserOutcome, cls []*Classification) (*FeatureCorrelations, error) {
+	if len(outs) != len(cls) {
+		return nil, fmt.Errorf("classify: outcome/classification length mismatch %d != %d", len(outs), len(cls))
+	}
+	var friends, badges, mayors, ckpd []float64
+	ratios := make(map[Kind][]float64)
+	kinds := []Kind{Superfluous, Remote, Driveby, Honest}
+	for i, o := range outs {
+		if len(o.User.Checkins) == 0 {
+			continue
+		}
+		p := o.User.Profile
+		friends = append(friends, float64(p.Friends))
+		badges = append(badges, float64(p.Badges))
+		mayors = append(mayors, float64(p.Mayors))
+		ckpd = append(ckpd, p.CheckinsPerDay)
+		for _, k := range kinds {
+			ratios[k] = append(ratios[k], cls[i].Ratio(k))
+		}
+	}
+	if len(friends) < 3 {
+		return nil, fmt.Errorf("classify: too few users with checkins (%d)", len(friends))
+	}
+	fc := &FeatureCorrelations{Rows: make(map[Kind][4]float64), Users: len(friends)}
+	features := [][]float64{friends, badges, mayors, ckpd}
+	for _, k := range kinds {
+		var row [4]float64
+		for fi, feat := range features {
+			r, err := stats.Pearson(ratios[k], feat)
+			if err != nil {
+				return nil, fmt.Errorf("classify: correlate %v vs feature %d: %w", k, fi, err)
+			}
+			row[fi] = r
+		}
+		fc.Rows[k] = row
+	}
+	return fc, nil
+}
+
+// PerUserRatios returns, for each user with checkins, the fraction of her
+// checkins of the given kind — the Figure 5 sample. Kind < 0 requests the
+// all-extraneous ratio.
+func PerUserRatios(cls []*Classification, k Kind) []float64 {
+	var out []float64
+	for _, c := range cls {
+		if len(c.Kinds) == 0 {
+			continue
+		}
+		if k < 0 {
+			out = append(out, c.ExtraneousRatio())
+		} else {
+			out = append(out, c.Ratio(k))
+		}
+	}
+	return out
+}
+
+// InterArrivals returns the inter-arrival gaps in minutes between
+// consecutive checkins of the given kind within each user (Figure 6).
+// Kind < 0 pools all checkins regardless of kind.
+func InterArrivals(outs []core.UserOutcome, cls []*Classification, k Kind) []float64 {
+	var gaps []float64
+	for i, o := range outs {
+		var prev int64
+		have := false
+		for ci, c := range o.User.Checkins {
+			if k >= 0 && cls[i].Kinds[ci] != k {
+				continue
+			}
+			if have {
+				gaps = append(gaps, float64(c.T-prev)/60)
+			}
+			prev = c.T
+			have = true
+		}
+	}
+	return gaps
+}
+
+// FilterTradeoff quantifies §5.3's user-filtering dilemma: sort users by
+// extraneous ratio (worst first) and report, as the worst users are
+// dropped, the cumulative fraction of extraneous checkins removed versus
+// honest checkins lost.
+type FilterTradeoff struct {
+	// UsersDropped[i] users removed eliminates ExtraneousRemoved[i] of
+	// all extraneous checkins at the cost of HonestLost[i] of all honest
+	// checkins (all fractions in [0, 1]).
+	UsersDropped      []int
+	ExtraneousRemoved []float64
+	HonestLost        []float64
+}
+
+// ComputeFilterTradeoff builds the trade-off curve over all users.
+func ComputeFilterTradeoff(cls []*Classification) FilterTradeoff {
+	type userCost struct {
+		ratio          float64
+		extran, honest int
+	}
+	var ucs []userCost
+	totalEx, totalHon := 0, 0
+	for _, c := range cls {
+		if len(c.Kinds) == 0 {
+			continue
+		}
+		ex := len(c.Kinds) - c.Count(Honest)
+		hon := c.Count(Honest)
+		ucs = append(ucs, userCost{c.ExtraneousRatio(), ex, hon})
+		totalEx += ex
+		totalHon += hon
+	}
+	sort.Slice(ucs, func(i, j int) bool { return ucs[i].ratio > ucs[j].ratio })
+	var out FilterTradeoff
+	cumEx, cumHon := 0, 0
+	for i, uc := range ucs {
+		cumEx += uc.extran
+		cumHon += uc.honest
+		out.UsersDropped = append(out.UsersDropped, i+1)
+		out.ExtraneousRemoved = append(out.ExtraneousRemoved, frac(cumEx, totalEx))
+		out.HonestLost = append(out.HonestLost, frac(cumHon, totalHon))
+	}
+	return out
+}
+
+// HonestLossAt returns the honest-checkin loss incurred at the smallest
+// prefix of dropped users that removes at least the target fraction of
+// extraneous checkins. The paper's example: removing the users behind
+// 80 % of extraneous checkins sacrifices 53 % of honest ones.
+func (ft FilterTradeoff) HonestLossAt(targetExtraneous float64) (usersDropped int, honestLost float64) {
+	for i, ex := range ft.ExtraneousRemoved {
+		if ex >= targetExtraneous {
+			return ft.UsersDropped[i], ft.HonestLost[i]
+		}
+	}
+	if n := len(ft.UsersDropped); n > 0 {
+		return ft.UsersDropped[n-1], ft.HonestLost[n-1]
+	}
+	return 0, 0
+}
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// BurstDetector is the §7 "open problem" detector: it flags checkins as
+// extraneous from temporal burstiness alone — no GPS required — using the
+// gap to the nearest neighbouring checkin of the same user.
+type BurstDetector struct {
+	// MaxGap flags a checkin whose nearest same-user checkin lies within
+	// this duration.
+	MaxGap time.Duration
+}
+
+// Flags returns, parallel to the user's checkins, whether each checkin is
+// flagged extraneous by the burstiness rule.
+func (d BurstDetector) Flags(ts []int64) []bool {
+	out := make([]bool, len(ts))
+	gap := int64(d.MaxGap / time.Second)
+	for i := range ts {
+		if i > 0 && ts[i]-ts[i-1] <= gap {
+			out[i] = true
+			out[i-1] = true
+		}
+	}
+	return out
+}
+
+// DetectorScore is a precision/recall evaluation of a detector against
+// the matcher's honest/extraneous partition (or ground truth).
+type DetectorScore struct {
+	TP, FP, TN, FN int
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (s DetectorScore) Precision() float64 { return frac(s.TP, s.TP+s.FP) }
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (s DetectorScore) Recall() float64 { return frac(s.TP, s.TP+s.FN) }
+
+// F1 returns the harmonic mean of precision and recall.
+func (s DetectorScore) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// EvaluateBurstDetector scores the detector against the classification
+// (extraneous = positive class) over all users.
+func EvaluateBurstDetector(outs []core.UserOutcome, cls []*Classification, d BurstDetector) DetectorScore {
+	var sc DetectorScore
+	for i, o := range outs {
+		ts := make([]int64, len(o.User.Checkins))
+		for j, c := range o.User.Checkins {
+			ts[j] = c.T
+		}
+		flags := d.Flags(ts)
+		for j, flagged := range flags {
+			extraneous := cls[i].Kinds[j] != Honest
+			switch {
+			case flagged && extraneous:
+				sc.TP++
+			case flagged && !extraneous:
+				sc.FP++
+			case !flagged && extraneous:
+				sc.FN++
+			default:
+				sc.TN++
+			}
+		}
+	}
+	return sc
+}

@@ -1,0 +1,192 @@
+// Package core implements the paper's primary contribution: the algorithm
+// that matches Foursquare checkin events against GPS-derived visits
+// (§4.1), the resulting honest/extraneous/missing partition (Figure 1),
+// and the parameter-consistency sweep behind the choice of α = 500 m and
+// β = 30 min.
+//
+// Matching algorithm (verbatim from §4.1):
+//
+//	Step 1: for each checkin event ci, identify from the same user's GPS
+//	trace the set of visits {V} whose physical locations are within α
+//	meters of ci's location.
+//
+//	Step 2: if {V} is non-null, find the visit vj in {V} whose timestamp
+//	is closest to that of ci (using the interval distance Δt of the §4.1
+//	footnote). If Δt < β, vj matches ci.
+//
+// Each checkin matches at most one visit; when multiple checkins claim
+// the same visit, the geographically closest checkin keeps it and the
+// rest become unmatched (they are the superfluous checkins of §5.1).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/trace"
+)
+
+// Params are the matching thresholds.
+type Params struct {
+	// Alpha is the spatial threshold in meters (paper: 500 m).
+	Alpha float64
+	// Beta is the temporal threshold (paper: 30 min).
+	Beta time.Duration
+}
+
+// DefaultParams returns the paper's thresholds: α = 500 m, β = 30 min,
+// chosen in §4.1 as the values where matching results are most consistent.
+func DefaultParams() Params {
+	return Params{Alpha: 500, Beta: 30 * time.Minute}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 {
+		return fmt.Errorf("core: Alpha must be positive, got %g", p.Alpha)
+	}
+	if p.Beta <= 0 {
+		return fmt.Errorf("core: Beta must be positive, got %v", p.Beta)
+	}
+	return nil
+}
+
+// Match is one checkin-to-visit correspondence.
+type Match struct {
+	CheckinIdx int           // index into the user's checkin trace
+	VisitIdx   int           // index into the user's visit list
+	DeltaT     time.Duration // interval timestamp distance at match time
+	Dist       float64       // meters between checkin POI and visit centroid
+}
+
+// Result is the outcome of matching one user's traces.
+type Result struct {
+	// Matches holds the surviving one-to-one correspondences; matched
+	// checkins are the "honest" set.
+	Matches []Match
+	// ExtraneousIdx lists checkin indices with no matching visit.
+	ExtraneousIdx []int
+	// MissingIdx lists visit indices not matched by any checkin
+	// ("missing checkins" / unmatched visits).
+	MissingIdx []int
+}
+
+// Honest returns the number of matched (honest) checkins.
+func (r *Result) Honest() int { return len(r.Matches) }
+
+// Extraneous returns the number of unmatched checkins.
+func (r *Result) Extraneous() int { return len(r.ExtraneousIdx) }
+
+// Missing returns the number of unmatched visits.
+func (r *Result) Missing() int { return len(r.MissingIdx) }
+
+// IsHonest reports whether checkin index ci was matched.
+func (r *Result) IsHonest(ci int) bool {
+	for _, m := range r.Matches {
+		if m.CheckinIdx == ci {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchUser runs the matching algorithm for one user's checkins against
+// her detected visits. Both inputs must be time-ordered; visits must be
+// non-overlapping (as produced by internal/visits).
+func MatchUser(checkins trace.CheckinTrace, vs []trace.Visit, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	if len(checkins) == 0 && len(vs) == 0 {
+		return res, nil
+	}
+
+	// Spatial index over visit centroids for the α-radius Step 1 lookup.
+	pts := make([]geo.LatLon, len(vs))
+	for i, v := range vs {
+		pts[i] = v.Loc
+	}
+	grid := geo.NewGridIndex(pts, p.Alpha)
+
+	// Step 1 + Step 2: provisional best visit per checkin.
+	type claim struct {
+		checkin int
+		deltaT  time.Duration
+		dist    float64
+	}
+	best := make([]int, len(checkins)) // checkin -> visit index or -1
+	claims := make(map[int][]claim)    // visit -> claiming checkins
+	var buf []int
+	for ci, c := range checkins {
+		best[ci] = -1
+		buf = grid.Within(c.Loc, p.Alpha, buf[:0])
+		bestVisit := -1
+		bestDT := p.Beta
+		bestDist := 0.0
+		for _, vi := range buf {
+			dt := vs[vi].DeltaT(c.T)
+			if dt < bestDT || (dt == bestDT && bestVisit == -1) {
+				if dt >= p.Beta {
+					continue
+				}
+				bestDT = dt
+				bestVisit = vi
+				bestDist = geo.Distance(c.Loc, vs[vi].Loc)
+			}
+		}
+		if bestVisit >= 0 {
+			best[ci] = bestVisit
+			claims[bestVisit] = append(claims[bestVisit], claim{ci, bestDT, bestDist})
+		}
+	}
+
+	// Conflict resolution: a visit claimed by several checkins keeps only
+	// the geographically closest one (§4.1); the rest become extraneous.
+	matchedCheckin := make([]bool, len(checkins))
+	matchedVisit := make([]bool, len(vs))
+	for vi, cl := range claims {
+		win := cl[0]
+		for _, c := range cl[1:] {
+			if c.dist < win.dist {
+				win = c
+			}
+		}
+		res.Matches = append(res.Matches, Match{
+			CheckinIdx: win.checkin,
+			VisitIdx:   vi,
+			DeltaT:     win.deltaT,
+			Dist:       win.dist,
+		})
+		matchedCheckin[win.checkin] = true
+		matchedVisit[vi] = true
+	}
+
+	for ci := range checkins {
+		if !matchedCheckin[ci] {
+			res.ExtraneousIdx = append(res.ExtraneousIdx, ci)
+		}
+	}
+	for vi := range vs {
+		if !matchedVisit[vi] {
+			res.MissingIdx = append(res.MissingIdx, vi)
+		}
+	}
+	sortMatches(res)
+	return res, nil
+}
+
+// sortMatches orders the result deterministically by checkin index.
+func sortMatches(r *Result) {
+	// Insertion sort: match lists are small per user and mostly ordered.
+	for i := 1; i < len(r.Matches); i++ {
+		m := r.Matches[i]
+		j := i - 1
+		for j >= 0 && r.Matches[j].CheckinIdx > m.CheckinIdx {
+			r.Matches[j+1] = r.Matches[j]
+			j--
+		}
+		r.Matches[j+1] = m
+	}
+}

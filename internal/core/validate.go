@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"geosocial/internal/trace"
+	"geosocial/internal/visits"
+)
+
+// UserOutcome bundles one user's detected visits and matching result.
+type UserOutcome struct {
+	User   *trace.User
+	Visits []trace.Visit
+	Match  *Result
+}
+
+// Partition is the dataset-level Venn diagram of Figure 1.
+type Partition struct {
+	Checkins   int // total checkin events
+	Visits     int // total detected visits
+	Honest     int // matched checkins
+	Extraneous int // unmatched checkins
+	Missing    int // unmatched visits
+}
+
+// ExtraneousRatio returns extraneous checkins as a fraction of all
+// checkins (the paper reports 75 %).
+func (p Partition) ExtraneousRatio() float64 {
+	if p.Checkins == 0 {
+		return 0
+	}
+	return float64(p.Extraneous) / float64(p.Checkins)
+}
+
+// CoverageRatio returns matched visits as a fraction of all visits (the
+// paper reports roughly 10 %).
+func (p Partition) CoverageRatio() float64 {
+	if p.Visits == 0 {
+		return 0
+	}
+	return float64(p.Honest) / float64(p.Visits)
+}
+
+// MissingRatio returns unmatched visits as a fraction of all visits (the
+// paper reports 89 %).
+func (p Partition) MissingRatio() float64 {
+	if p.Visits == 0 {
+		return 0
+	}
+	return float64(p.Missing) / float64(p.Visits)
+}
+
+// String implements fmt.Stringer in the shape of Figure 1.
+func (p Partition) String() string {
+	return fmt.Sprintf("honest=%d extraneous=%d (%.0f%% of %d checkins) missing=%d (%.0f%% of %d visits)",
+		p.Honest, p.Extraneous, 100*p.ExtraneousRatio(), p.Checkins,
+		p.Missing, 100*p.MissingRatio(), p.Visits)
+}
+
+// Validator runs the full §4 pipeline: visit detection followed by
+// checkin-to-visit matching, per user and dataset-wide.
+type Validator struct {
+	// Params are the matching thresholds (DefaultParams when zero).
+	Params Params
+	// VisitConfig parameterizes stay-point detection
+	// (visits.DefaultConfig when zero).
+	VisitConfig visits.Config
+}
+
+// NewValidator returns a validator with the paper's parameters.
+func NewValidator() *Validator {
+	return &Validator{Params: DefaultParams(), VisitConfig: visits.DefaultConfig()}
+}
+
+// ValidateDataset runs visit detection and matching for every user and
+// returns the per-user outcomes with the dataset partition.
+func (v *Validator) ValidateDataset(ds *trace.Dataset) ([]UserOutcome, Partition, error) {
+	params := v.Params
+	if params == (Params{}) {
+		params = DefaultParams()
+	}
+	vcfg := v.VisitConfig
+	if vcfg == (visits.Config{}) {
+		vcfg = visits.DefaultConfig()
+	}
+	db, err := ds.DB()
+	if err != nil {
+		return nil, Partition{}, fmt.Errorf("core: %w", err)
+	}
+	var outs []UserOutcome
+	var part Partition
+	for _, u := range ds.Users {
+		vs, err := visits.Detect(u.GPS, vcfg, db)
+		if err != nil {
+			return nil, Partition{}, fmt.Errorf("core: user %d: %w", u.ID, err)
+		}
+		res, err := MatchUser(u.Checkins, vs, params)
+		if err != nil {
+			return nil, Partition{}, fmt.Errorf("core: user %d: %w", u.ID, err)
+		}
+		outs = append(outs, UserOutcome{User: u, Visits: vs, Match: res})
+		part.Checkins += len(u.Checkins)
+		part.Visits += len(vs)
+		part.Honest += res.Honest()
+		part.Extraneous += res.Extraneous()
+		part.Missing += res.Missing()
+	}
+	return outs, part, nil
+}
+
+// TruthScore compares the matcher's honest/extraneous split against the
+// generator's ground-truth labels (synthetic data only). It treats
+// "matched" as the positive class for honest-labeled checkins.
+type TruthScore struct {
+	Labeled  int     // checkins carrying a ground-truth label
+	Agree    int     // checkins where matcher and label agree
+	Accuracy float64 // Agree / Labeled
+	HonestP  float64 // precision of the matched set against LabelHonest
+	HonestR  float64 // recall of LabelHonest checkins into the matched set
+}
+
+// ScoreAgainstTruth computes matcher-vs-ground-truth agreement over the
+// outcomes. It returns an error when no checkin carries a label (real
+// data).
+func ScoreAgainstTruth(outs []UserOutcome) (TruthScore, error) {
+	var sc TruthScore
+	var matchedHonest, matchedTotal, honestTotal int
+	for _, o := range outs {
+		matched := make(map[int]bool, len(o.Match.Matches))
+		for _, m := range o.Match.Matches {
+			matched[m.CheckinIdx] = true
+		}
+		for ci, c := range o.User.Checkins {
+			if c.Truth == trace.LabelNone {
+				continue
+			}
+			sc.Labeled++
+			isMatched := matched[ci]
+			wantHonest := c.Truth == trace.LabelHonest
+			if isMatched == wantHonest {
+				sc.Agree++
+			}
+			if isMatched {
+				matchedTotal++
+				if wantHonest {
+					matchedHonest++
+				}
+			}
+			if wantHonest {
+				honestTotal++
+			}
+		}
+	}
+	if sc.Labeled == 0 {
+		return sc, fmt.Errorf("core: no ground-truth labels present")
+	}
+	sc.Accuracy = float64(sc.Agree) / float64(sc.Labeled)
+	if matchedTotal > 0 {
+		sc.HonestP = float64(matchedHonest) / float64(matchedTotal)
+	}
+	if honestTotal > 0 {
+		sc.HonestR = float64(matchedHonest) / float64(honestTotal)
+	}
+	return sc, nil
+}
+
+// SweepPoint is one cell of the (α, β) consistency sweep.
+type SweepPoint struct {
+	Alpha  float64
+	Beta   time.Duration
+	Honest int
+}
+
+// SweepParams reruns matching over a grid of (α, β) values and reports
+// the honest-checkin count at each point. The paper's §4.1 claim — that
+// results are "most consistent" around 500 m / 30 min — corresponds to
+// the count surface flattening there; the ablation bench regenerates it.
+func SweepParams(outs []UserOutcome, alphas []float64, betas []time.Duration) ([]SweepPoint, error) {
+	var pts []SweepPoint
+	for _, a := range alphas {
+		for _, b := range betas {
+			p := Params{Alpha: a, Beta: b}
+			honest := 0
+			for _, o := range outs {
+				res, err := MatchUser(o.User.Checkins, o.Visits, p)
+				if err != nil {
+					return nil, err
+				}
+				honest += res.Honest()
+			}
+			pts = append(pts, SweepPoint{Alpha: a, Beta: b, Honest: honest})
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,362 @@
+// Package detect builds out the paper's §7 "Detecting Extraneous
+// Checkins" open problem: "a more thorough analysis (perhaps applying
+// machine learning techniques) is necessary."
+//
+// It extracts per-checkin features that are observable from the checkin
+// trace alone — no GPS required, which is the whole point: a consumer of
+// a geosocial dataset has only the checkins — and trains an L2-regularized
+// logistic-regression classifier by gradient descent to separate honest
+// from extraneous checkins. Ground truth for training comes from the
+// matched study data (or, for synthetic data, generator labels).
+//
+// Features per checkin (all cheap and trace-local):
+//
+//	gapPrev, gapNext   log-minutes to the user's neighbouring checkins
+//	                   (the §5.3 burstiness signal, both directions)
+//	distPrev           log-km to the previous checkin's venue
+//	speedPrev          log implied speed between consecutive checkins
+//	hourOfDay          sin/cos encoding of the checkin's local hour
+//	routineCat         whether the claimed venue category is routine
+//	userRate           the user's checkins/day (heavy users cheat more)
+//	userVenueShare     fraction of the user's checkins at this venue
+package detect
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"geosocial/internal/core"
+	"geosocial/internal/geo"
+	"geosocial/internal/trace"
+)
+
+// FeatureDim is the length of the feature vector (excluding bias).
+const FeatureDim = 10
+
+// FeatureNames labels the feature vector entries, index-aligned.
+func FeatureNames() []string {
+	return []string{
+		"logGapPrevMin", "logGapNextMin", "logDistPrevKm", "logSpeedPrevKmh",
+		"hourSin", "hourCos", "routineCategory", "userCheckinsPerDay",
+		"userVenueShare", "burstSize",
+	}
+}
+
+// Example is one labeled feature vector.
+type Example struct {
+	X [FeatureDim]float64
+	// Extraneous is the label (true = positive class).
+	Extraneous bool
+	// User identifies the owner, used for grouped cross-validation so a
+	// user's checkins never span the train/test divide.
+	User int
+}
+
+// Extract computes feature vectors for every checkin of a user's trace.
+// Labels are taken from the matcher's partition (matched = honest).
+func Extract(o core.UserOutcome) []Example {
+	cks := o.User.Checkins
+	if len(cks) == 0 {
+		return nil
+	}
+	matched := make(map[int]bool, len(o.Match.Matches))
+	for _, m := range o.Match.Matches {
+		matched[m.CheckinIdx] = true
+	}
+	venueCount := map[int]int{}
+	for _, c := range cks {
+		venueCount[c.POIID]++
+	}
+	days := o.User.Days
+	if days <= 0 {
+		days = 1
+	}
+	rate := float64(len(cks)) / days
+
+	out := make([]Example, len(cks))
+	for i, c := range cks {
+		var x [FeatureDim]float64
+		// Gap to previous / next checkin (log-minutes, capped at a day).
+		x[0] = logMinutes(gapBefore(cks, i))
+		x[1] = logMinutes(gapAfter(cks, i))
+		// Distance and implied speed from the previous checkin.
+		if i > 0 {
+			distKm := geo.Distance(cks[i-1].Loc, c.Loc) / 1000
+			x[2] = math.Log1p(distKm)
+			dtH := float64(c.T-cks[i-1].T) / 3600
+			if dtH > 0 {
+				x[3] = math.Log1p(distKm / dtH)
+			} else {
+				x[3] = math.Log1p(1000) // co-timestamped jump
+			}
+		}
+		// Hour-of-day encoding.
+		hour := float64((c.T % 86400) / 3600)
+		x[4] = math.Sin(2 * math.Pi * hour / 24)
+		x[5] = math.Cos(2 * math.Pi * hour / 24)
+		if c.Category.Routine() {
+			x[6] = 1
+		}
+		x[7] = math.Log1p(rate)
+		x[8] = float64(venueCount[c.POIID]) / float64(len(cks))
+		x[9] = math.Log1p(float64(burstSize(cks, i, 2*time.Minute)))
+		out[i] = Example{X: x, Extraneous: !matched[i], User: o.User.ID}
+	}
+	return out
+}
+
+// ExtractAll extracts features across all outcomes.
+func ExtractAll(outs []core.UserOutcome) []Example {
+	var all []Example
+	for _, o := range outs {
+		all = append(all, Extract(o)...)
+	}
+	return all
+}
+
+func gapBefore(cks trace.CheckinTrace, i int) time.Duration {
+	if i == 0 {
+		return 24 * time.Hour
+	}
+	return time.Duration(cks[i].T-cks[i-1].T) * time.Second
+}
+
+func gapAfter(cks trace.CheckinTrace, i int) time.Duration {
+	if i == len(cks)-1 {
+		return 24 * time.Hour
+	}
+	return time.Duration(cks[i+1].T-cks[i].T) * time.Second
+}
+
+func logMinutes(d time.Duration) float64 {
+	m := d.Minutes()
+	if m > 1440 {
+		m = 1440
+	}
+	if m < 0 {
+		m = 0
+	}
+	return math.Log1p(m)
+}
+
+// burstSize counts the checkins in the maximal run around index i whose
+// consecutive gaps stay within maxGap.
+func burstSize(cks trace.CheckinTrace, i int, maxGap time.Duration) int {
+	gap := int64(maxGap / time.Second)
+	n := 1
+	for j := i; j > 0 && cks[j].T-cks[j-1].T <= gap; j-- {
+		n++
+	}
+	for j := i; j+1 < len(cks) && cks[j+1].T-cks[j].T <= gap; j++ {
+		n++
+	}
+	return n
+}
+
+// Model is a trained logistic-regression classifier.
+type Model struct {
+	// W holds the feature weights; B is the bias.
+	W [FeatureDim]float64
+	B float64
+	// Mean and Scale are the feature standardization parameters learned
+	// from the training set.
+	Mean  [FeatureDim]float64
+	Scale [FeatureDim]float64
+}
+
+// TrainConfig tunes gradient-descent training.
+type TrainConfig struct {
+	Epochs int     // full passes over the data (default 200)
+	LR     float64 // learning rate (default 0.1)
+	L2     float64 // ridge penalty (default 1e-4)
+}
+
+// DefaultTrainConfig returns the defaults used throughout.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 200, LR: 0.1, L2: 1e-4}
+}
+
+// Train fits a logistic-regression model by full-batch gradient descent
+// on standardized features.
+func Train(examples []Example, cfg TrainConfig) (*Model, error) {
+	if len(examples) < 10 {
+		return nil, fmt.Errorf("detect: too few examples (%d)", len(examples))
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 200
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	m := &Model{}
+	// Standardize.
+	n := float64(len(examples))
+	for _, e := range examples {
+		for j, v := range e.X {
+			m.Mean[j] += v / n
+		}
+	}
+	for _, e := range examples {
+		for j, v := range e.X {
+			d := v - m.Mean[j]
+			m.Scale[j] += d * d / n
+		}
+	}
+	for j := range m.Scale {
+		m.Scale[j] = math.Sqrt(m.Scale[j])
+		if m.Scale[j] < 1e-9 {
+			m.Scale[j] = 1
+		}
+	}
+	// Gradient descent.
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var gradW [FeatureDim]float64
+		gradB := 0.0
+		for _, e := range examples {
+			z := m.B
+			for j, v := range e.X {
+				z += m.W[j] * (v - m.Mean[j]) / m.Scale[j]
+			}
+			p := sigmoid(z)
+			y := 0.0
+			if e.Extraneous {
+				y = 1
+			}
+			err := p - y
+			for j, v := range e.X {
+				gradW[j] += err * (v - m.Mean[j]) / m.Scale[j]
+			}
+			gradB += err
+		}
+		for j := range gradW {
+			m.W[j] -= cfg.LR * (gradW[j]/n + cfg.L2*m.W[j])
+		}
+		m.B -= cfg.LR * gradB / n
+	}
+	return m, nil
+}
+
+func sigmoid(z float64) float64 {
+	if z > 35 {
+		return 1
+	}
+	if z < -35 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Score returns P(extraneous) for one feature vector.
+func (m *Model) Score(x [FeatureDim]float64) float64 {
+	z := m.B
+	for j, v := range x {
+		z += m.W[j] * (v - m.Mean[j]) / m.Scale[j]
+	}
+	return sigmoid(z)
+}
+
+// Predict classifies at the given probability threshold.
+func (m *Model) Predict(x [FeatureDim]float64, threshold float64) bool {
+	return m.Score(x) >= threshold
+}
+
+// Score4 aggregates binary-classification counts.
+type Score struct {
+	TP, FP, TN, FN int
+}
+
+// Precision returns TP/(TP+FP) (0 when undefined).
+func (s Score) Precision() float64 { return safeDiv(s.TP, s.TP+s.FP) }
+
+// Recall returns TP/(TP+FN) (0 when undefined).
+func (s Score) Recall() float64 { return safeDiv(s.TP, s.TP+s.FN) }
+
+// Accuracy returns the fraction classified correctly.
+func (s Score) Accuracy() float64 { return safeDiv(s.TP+s.TN, s.TP+s.TN+s.FP+s.FN) }
+
+// F1 returns the harmonic mean of precision and recall.
+func (s Score) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Evaluate scores the model over examples at the threshold.
+func (m *Model) Evaluate(examples []Example, threshold float64) Score {
+	var s Score
+	for _, e := range examples {
+		pred := m.Predict(e.X, threshold)
+		switch {
+		case pred && e.Extraneous:
+			s.TP++
+		case pred && !e.Extraneous:
+			s.FP++
+		case !pred && e.Extraneous:
+			s.FN++
+		default:
+			s.TN++
+		}
+	}
+	return s
+}
+
+// CrossValidate performs k-fold cross-validation grouped by user (all of
+// a user's checkins land in the same fold, preventing leakage through
+// user-level features) and returns the pooled score at the threshold.
+func CrossValidate(examples []Example, k int, cfg TrainConfig, threshold float64) (Score, error) {
+	if k < 2 {
+		return Score{}, fmt.Errorf("detect: k must be >= 2, got %d", k)
+	}
+	var pooled Score
+	folds := 0
+	for fold := 0; fold < k; fold++ {
+		var train, test []Example
+		for _, e := range examples {
+			if e.User%k == fold {
+				test = append(test, e)
+			} else {
+				train = append(train, e)
+			}
+		}
+		if len(test) == 0 || len(train) < 10 {
+			continue
+		}
+		m, err := Train(train, cfg)
+		if err != nil {
+			return Score{}, fmt.Errorf("detect: fold %d: %w", fold, err)
+		}
+		s := m.Evaluate(test, threshold)
+		pooled.TP += s.TP
+		pooled.FP += s.FP
+		pooled.TN += s.TN
+		pooled.FN += s.FN
+		folds++
+	}
+	if folds == 0 {
+		return Score{}, fmt.Errorf("detect: no usable folds (too few users?)")
+	}
+	return pooled, nil
+}
+
+// String implements fmt.Stringer with the learned weights.
+func (m *Model) String() string {
+	out := "detect.Model{"
+	names := FeatureNames()
+	for j, w := range m.W {
+		if j > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%+.2f", names[j], w)
+	}
+	return out + fmt.Sprintf(" bias=%+.2f}", m.B)
+}

@@ -1,0 +1,179 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"geosocial/internal/classify"
+	"geosocial/internal/core"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+	"geosocial/internal/trace"
+)
+
+// studyOutcomes builds a small validated study shared by the tests.
+func studyOutcomes(t *testing.T) []core.UserOutcome {
+	t.Helper()
+	cfg := synth.PrimaryConfig().Scale(0.10)
+	ds, err := synth.Generate(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, _, err := core.NewValidator().ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+func TestExtractShapes(t *testing.T) {
+	outs := studyOutcomes(t)
+	exs := ExtractAll(outs)
+	if len(exs) == 0 {
+		t.Fatal("no examples")
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o.User.Checkins)
+	}
+	if len(exs) != total {
+		t.Fatalf("examples %d != checkins %d", len(exs), total)
+	}
+	pos := 0
+	for _, e := range exs {
+		for j, v := range e.X {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("feature %d is %g", j, v)
+			}
+		}
+		if e.Extraneous {
+			pos++
+		}
+	}
+	// The study runs at ~70-80% extraneous.
+	frac := float64(pos) / float64(len(exs))
+	if frac < 0.5 || frac > 0.95 {
+		t.Fatalf("positive fraction %.2f implausible", frac)
+	}
+}
+
+func TestExtractEmptyUser(t *testing.T) {
+	o := core.UserOutcome{User: &trace.User{}, Match: &core.Result{}}
+	if got := Extract(o); got != nil {
+		t.Fatalf("empty user produced %d examples", len(got))
+	}
+}
+
+func TestTrainSeparatesSyntheticClasses(t *testing.T) {
+	// Linearly separable toy data on feature 0: the trainer must find it.
+	var exs []Example
+	s := rng.New(3)
+	for i := 0; i < 400; i++ {
+		var e Example
+		if i%2 == 0 {
+			e.X[0] = s.Range(2, 4)
+			e.Extraneous = true
+		} else {
+			e.X[0] = s.Range(-4, -2)
+		}
+		e.User = i
+		exs = append(exs, e)
+	}
+	m, err := Train(exs, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.Evaluate(exs, 0.5)
+	if sc.Accuracy() < 0.99 {
+		t.Fatalf("separable data accuracy %.3f", sc.Accuracy())
+	}
+	if m.W[0] <= 0 {
+		t.Fatalf("weight on the separating feature = %g, want positive", m.W[0])
+	}
+}
+
+func TestTrainTooFew(t *testing.T) {
+	if _, err := Train(make([]Example, 5), DefaultTrainConfig()); err == nil {
+		t.Fatal("tiny training set accepted")
+	}
+}
+
+func TestDetectorBeatsBurstinessBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	outs := studyOutcomes(t)
+	exs := ExtractAll(outs)
+	sc, err := CrossValidate(exs, 5, DefaultTrainConfig(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("logistic CV: precision=%.3f recall=%.3f F1=%.3f acc=%.3f",
+		sc.Precision(), sc.Recall(), sc.F1(), sc.Accuracy())
+
+	// Burstiness baseline at its best threshold over the same data.
+	cls, err := classify.ClassifyAll(outs, classify.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestBaseF1 := 0.0
+	for _, gapMin := range []int{1, 2, 5, 10, 20} {
+		d := classify.BurstDetector{MaxGap: time.Duration(gapMin) * time.Minute}
+		bs := classify.EvaluateBurstDetector(outs, cls, d)
+		if f1 := bs.F1(); f1 > bestBaseF1 {
+			bestBaseF1 = f1
+		}
+	}
+	t.Logf("burstiness baseline best F1=%.3f", bestBaseF1)
+	if sc.F1() < bestBaseF1-0.02 {
+		t.Errorf("learned detector F1 %.3f below burstiness baseline %.3f", sc.F1(), bestBaseF1)
+	}
+	if sc.F1() < 0.75 {
+		t.Errorf("learned detector F1 %.3f too weak", sc.F1())
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	if _, err := CrossValidate(nil, 1, DefaultTrainConfig(), 0.5); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(nil, 5, DefaultTrainConfig(), 0.5); err == nil {
+		t.Error("empty examples accepted")
+	}
+}
+
+func TestScoreArithmetic(t *testing.T) {
+	s := Score{TP: 6, FP: 2, TN: 10, FN: 2}
+	if s.Precision() != 0.75 {
+		t.Errorf("precision %g", s.Precision())
+	}
+	if s.Recall() != 0.75 {
+		t.Errorf("recall %g", s.Recall())
+	}
+	if s.Accuracy() != 0.8 {
+		t.Errorf("accuracy %g", s.Accuracy())
+	}
+	if f1 := s.F1(); math.Abs(f1-0.75) > 1e-12 {
+		t.Errorf("f1 %g", f1)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{}
+	if m.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestBurstSizeFeature(t *testing.T) {
+	cks := trace.CheckinTrace{
+		{T: 0}, {T: 30}, {T: 60}, {T: 4000},
+	}
+	if got := burstSize(cks, 1, 2*time.Minute); got != 3 {
+		t.Errorf("burstSize mid = %d, want 3", got)
+	}
+	if got := burstSize(cks, 3, 2*time.Minute); got != 1 {
+		t.Errorf("burstSize isolated = %d, want 1", got)
+	}
+}

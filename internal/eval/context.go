@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"fmt"
+
+	"geosocial/internal/classify"
+	"geosocial/internal/core"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+	"geosocial/internal/trace"
+)
+
+// Context holds the generated datasets and the shared pipeline outputs
+// (visits, matches, classifications) every experiment consumes. Building
+// it once amortizes the expensive stages across experiments.
+type Context struct {
+	// Scale is the population scale relative to the paper's study
+	// (1.0 = 244 primary + 47 baseline users).
+	Scale float64
+	Seed  uint64
+
+	Primary  *trace.Dataset
+	Baseline *trace.Dataset
+
+	PrimaryOuts  []core.UserOutcome
+	PrimaryPart  core.Partition
+	BaselineOuts []core.UserOutcome
+	BaselinePart core.Partition
+
+	Cls []*classify.Classification // primary, parallel to PrimaryOuts
+}
+
+// NewContext generates both datasets at the given scale and runs the full
+// §4–§5 pipeline on them.
+func NewContext(scale float64, seed uint64) (*Context, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("eval: scale must be positive, got %g", scale)
+	}
+	ctx := &Context{Scale: scale, Seed: seed}
+	root := rng.New(seed)
+
+	var err error
+	ctx.Primary, err = synth.Generate(synth.PrimaryConfig().Scale(scale), root.Split("primary"))
+	if err != nil {
+		return nil, fmt.Errorf("eval: generate primary: %w", err)
+	}
+	ctx.Baseline, err = synth.Generate(synth.BaselineConfig().Scale(scale), root.Split("baseline"))
+	if err != nil {
+		return nil, fmt.Errorf("eval: generate baseline: %w", err)
+	}
+
+	v := core.NewValidator()
+	ctx.PrimaryOuts, ctx.PrimaryPart, err = v.ValidateDataset(ctx.Primary)
+	if err != nil {
+		return nil, fmt.Errorf("eval: validate primary: %w", err)
+	}
+	ctx.BaselineOuts, ctx.BaselinePart, err = v.ValidateDataset(ctx.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("eval: validate baseline: %w", err)
+	}
+
+	ctx.Cls, err = classify.ClassifyAll(ctx.PrimaryOuts, classify.DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("eval: classify primary: %w", err)
+	}
+	return ctx, nil
+}
+
+// UserDays returns the total user-days of a dataset.
+func UserDays(ds *trace.Dataset) float64 {
+	var days float64
+	for _, u := range ds.Users {
+		days += u.Days
+	}
+	return days
+}

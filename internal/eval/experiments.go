@@ -1,0 +1,456 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"geosocial/internal/classify"
+	"geosocial/internal/core"
+
+	"geosocial/internal/poi"
+	"geosocial/internal/stats"
+	"geosocial/internal/trace"
+)
+
+// Paper-published values for side-by-side comparison. All from the
+// HotNets'13 text, Table 1/2 and Figures 1–6.
+var (
+	paperTable1 = map[string][5]float64{
+		"primary":  {244, 14.2, 14297, 30835, 2600000},
+		"baseline": {47, 20.8, 665, 6300, 558000},
+	}
+	paperFig1   = struct{ honest, extraneous, missing float64 }{3525, 10772, 27310}
+	paperTable2 = map[classify.Kind][4]float64{
+		classify.Superfluous: {0.22, 0.07, 0.34, 0.15},
+		classify.Remote:      {0.18, 0.49, 0.16, 0.15},
+		classify.Driveby:     {-0.10, -0.21, -0.08, 0.21},
+		classify.Honest:      {-0.09, -0.42, -0.23, -0.40},
+	}
+)
+
+// Table1 regenerates Table 1: the dataset statistics rows.
+func Table1(ctx *Context) (*Report, error) {
+	r := &Report{ID: "table1", Title: "Statistics of the primary and baseline datasets"}
+	t := Table{
+		Title:  "Table 1",
+		Header: []string{"Dataset", "#users", "avg days/user", "#checkins", "#visits", "#GPS points"},
+	}
+	for _, spec := range []struct {
+		ds   *trace.Dataset
+		part core.Partition
+	}{
+		{ctx.Primary, ctx.PrimaryPart},
+		{ctx.Baseline, ctx.BaselinePart},
+	} {
+		visitCount := spec.part.Visits
+		sum := spec.ds.Summarize(nil)
+		t.Rows = append(t.Rows, []string{
+			spec.ds.Name,
+			fmt.Sprintf("%d", sum.Users),
+			fmt.Sprintf("%.1f", sum.AvgDays),
+			fmt.Sprintf("%d", sum.Checkins),
+			fmt.Sprintf("%d", visitCount),
+			fmt.Sprintf("%d", sum.GPSPoints),
+		})
+		paper := paperTable1[spec.ds.Name]
+		days := UserDays(spec.ds)
+		if days > 0 && paper[1] > 0 {
+			paperDays := paper[0] * paper[1]
+			r.Notes = append(r.Notes,
+				note(spec.ds.Name+" checkins/user-day", float64(sum.Checkins)/days, paper[2]/paperDays),
+				note(spec.ds.Name+" visits/user-day", float64(visitCount)/days, paper[3]/paperDays),
+				note(spec.ds.Name+" GPS points/user-day", float64(sum.GPSPoints)/days, paper[4]/paperDays),
+			)
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	return r, nil
+}
+
+// Fig1 regenerates Figure 1: the matching Venn partition.
+func Fig1(ctx *Context) (*Report, error) {
+	p := ctx.PrimaryPart
+	r := &Report{ID: "fig1", Title: "Matching results of the primary dataset (Venn partition)"}
+	t := Table{
+		Title:  "Figure 1",
+		Header: []string{"Class", "Count", "Share", "Paper"},
+	}
+	paperTotalCk := paperFig1.honest + paperFig1.extraneous
+	paperTotalVis := paperFig1.honest + paperFig1.missing
+	t.Rows = append(t.Rows,
+		[]string{"honest checkins", fmt.Sprintf("%d", p.Honest),
+			fmt.Sprintf("%.1f%% of checkins", 100*float64(p.Honest)/maxF(float64(p.Checkins), 1)),
+			fmt.Sprintf("%.1f%%", 100*paperFig1.honest/paperTotalCk)},
+		[]string{"extraneous checkins", fmt.Sprintf("%d", p.Extraneous),
+			fmt.Sprintf("%.1f%% of checkins", 100*p.ExtraneousRatio()),
+			fmt.Sprintf("%.1f%%", 100*paperFig1.extraneous/paperTotalCk)},
+		[]string{"missing checkins (unmatched visits)", fmt.Sprintf("%d", p.Missing),
+			fmt.Sprintf("%.1f%% of visits", 100*p.MissingRatio()),
+			fmt.Sprintf("%.1f%%", 100*paperFig1.missing/paperTotalVis)},
+	)
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		note("extraneous ratio", p.ExtraneousRatio(), 0.753),
+		note("visit coverage", p.CoverageRatio(), 0.114),
+	)
+	if sc, err := core.ScoreAgainstTruth(ctx.PrimaryOuts); err == nil {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"matcher vs generator ground truth: accuracy %.3f, honest precision %.3f, honest recall %.3f (no paper analogue — real data has no labels)",
+			sc.Accuracy, sc.HonestP, sc.HonestR))
+	}
+	return r, nil
+}
+
+// interArrivalMinutes extracts consecutive-event gaps (minutes) from one
+// user's event times.
+func interArrivalMinutes(ts []int64) []float64 {
+	var out []float64
+	for i := 1; i < len(ts); i++ {
+		d := float64(ts[i]-ts[i-1]) / 60
+		if d > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Fig2 regenerates Figure 2: CDFs of inter-arrival time for the five
+// trace slices. The paper's validation claim: the baseline's full checkin
+// trace coincides with the primary's honest subset, while the primary's
+// full checkin trace deviates sharply.
+func Fig2(ctx *Context) (*Report, error) {
+	gather := func(outs []core.UserOutcome, sel func(o core.UserOutcome) []int64) []float64 {
+		var all []float64
+		for _, o := range outs {
+			all = append(all, interArrivalMinutes(sel(o))...)
+		}
+		return all
+	}
+	checkinTimes := func(o core.UserOutcome) []int64 {
+		ts := make([]int64, len(o.User.Checkins))
+		for i, c := range o.User.Checkins {
+			ts[i] = c.T
+		}
+		return ts
+	}
+	gpsTimes := func(o core.UserOutcome) []int64 {
+		ts := make([]int64, len(o.User.GPS))
+		for i, p := range o.User.GPS {
+			ts[i] = p.T
+		}
+		return ts
+	}
+	honestTimes := func(o core.UserOutcome) []int64 {
+		matched := make(map[int]bool, len(o.Match.Matches))
+		for _, m := range o.Match.Matches {
+			matched[m.CheckinIdx] = true
+		}
+		var ts []int64
+		for i, c := range o.User.Checkins {
+			if matched[i] {
+				ts = append(ts, c.T)
+			}
+		}
+		return ts
+	}
+
+	x := stats.LogSpace(0.1, 1000, 30)
+	fig := Figure{
+		Title:  "Figure 2: CDF of inter-arrival time",
+		XLabel: "minutes",
+		YLabel: "CDF %",
+		X:      x,
+	}
+	type slice struct {
+		name string
+		data []float64
+	}
+	allCkPrimary := gather(ctx.PrimaryOuts, checkinTimes)
+	honestPrimary := gather(ctx.PrimaryOuts, honestTimes)
+	allCkBaseline := gather(ctx.BaselineOuts, checkinTimes)
+	gpsPrimary := gather(ctx.PrimaryOuts, gpsTimes)
+	gpsBaseline := gather(ctx.BaselineOuts, gpsTimes)
+	for _, s := range []slice{
+		{"All Checkin, Primary", allCkPrimary},
+		{"GPS, Primary", gpsPrimary},
+		{"GPS, Baseline", gpsBaseline},
+		{"Honest, Primary", honestPrimary},
+		{"All Checkin, Baseline", allCkBaseline},
+	} {
+		fig.Series = append(fig.Series, Series{Name: s.name, Y: stats.NewCDF(s.data).Points(x)})
+	}
+	r := &Report{ID: "fig2", Title: "CDF of inter-arrival time (trace validation)"}
+	r.Figures = append(r.Figures, fig)
+
+	// KS distances quantify the paper's visual claims.
+	ksHonestBaseline := stats.NewCDF(honestPrimary).KS(stats.NewCDF(allCkBaseline))
+	ksAllHonest := stats.NewCDF(allCkPrimary).KS(stats.NewCDF(honestPrimary))
+	ksGPS := stats.NewCDF(gpsPrimary).KS(stats.NewCDF(gpsBaseline))
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("KS(honest primary, all-checkin baseline) = %.3f (paper: curves coincide)", ksHonestBaseline),
+		fmt.Sprintf("KS(all-checkin primary, honest primary) = %.3f (paper: clearly separated)", ksAllHonest),
+		fmt.Sprintf("KS(GPS primary, GPS baseline) = %.3f (paper: near-perfect match)", ksGPS),
+	)
+	return r, nil
+}
+
+// missingSharesTopN returns, per user, the fraction of her missing
+// checkins (unmatched visits) located at her top-n most visited POIs.
+func missingSharesTopN(outs []core.UserOutcome, n int) []float64 {
+	var shares []float64
+	for _, o := range outs {
+		visitCount := map[int]int{}
+		for _, v := range o.Visits {
+			visitCount[visitPlaceKey(v)]++
+		}
+		if len(visitCount) == 0 || len(o.Match.MissingIdx) == 0 {
+			continue
+		}
+		type pc struct{ place, count int }
+		var pcs []pc
+		for p, c := range visitCount {
+			pcs = append(pcs, pc{p, c})
+		}
+		sort.Slice(pcs, func(i, j int) bool {
+			if pcs[i].count != pcs[j].count {
+				return pcs[i].count > pcs[j].count
+			}
+			return pcs[i].place < pcs[j].place
+		})
+		top := map[int]bool{}
+		for i := 0; i < n && i < len(pcs); i++ {
+			top[pcs[i].place] = true
+		}
+		hit := 0
+		for _, vi := range o.Match.MissingIdx {
+			if top[visitPlaceKey(o.Visits[vi])] {
+				hit++
+			}
+		}
+		shares = append(shares, float64(hit)/float64(len(o.Match.MissingIdx)))
+	}
+	return shares
+}
+
+// visitPlaceKey identifies the place of a visit: the snapped POI, or a
+// ~200 m location grid cell when no POI was near.
+func visitPlaceKey(v trace.Visit) int {
+	if v.POIID >= 0 {
+		return v.POIID
+	}
+	const cell = 0.002 // ~200 m in degrees
+	gx := int(v.Loc.Lat / cell)
+	gy := int(v.Loc.Lon / cell)
+	return -(gx*100000 + gy + 1<<20)
+}
+
+// Fig3 regenerates Figure 3: CDF across users of the missing-checkin
+// share at their top-n most visited POIs, n = 1..5.
+func Fig3(ctx *Context) (*Report, error) {
+	x := stats.LinSpace(0, 1, 21)
+	fig := Figure{
+		Title:  "Figure 3: missing-checkin share at top-n POIs",
+		XLabel: "share",
+		YLabel: "CDF % of users",
+		X:      x,
+	}
+	var top1, top5 []float64
+	for n := 1; n <= 5; n++ {
+		shares := missingSharesTopN(ctx.PrimaryOuts, n)
+		if n == 1 {
+			top1 = shares
+		}
+		if n == 5 {
+			top5 = shares
+		}
+		fig.Series = append(fig.Series, Series{
+			Name: fmt.Sprintf("Top-%d", n),
+			Y:    stats.NewCDF(shares).Points(x),
+		})
+	}
+	r := &Report{ID: "fig3", Title: "Missing checkins concentrate at top POIs"}
+	r.Figures = append(r.Figures, fig)
+	fracHalf := fracAtLeast(top5, 0.5)
+	frac40 := fracAtLeast(top1, 0.4)
+	r.Notes = append(r.Notes,
+		note("users with >=50% of missing checkins at top-5 POIs", fracHalf, 0.60),
+		note("users with >=40% of missing checkins at top-1 POI", frac40, 0.20),
+	)
+	return r, nil
+}
+
+func fracAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Fig4 regenerates Figure 4: the breakdown of missing checkins over the
+// nine POI categories.
+func Fig4(ctx *Context) (*Report, error) {
+	hist := stats.NewCategoryHistogram(poi.CategoryNames())
+	unsnapped := 0
+	for _, o := range ctx.PrimaryOuts {
+		for _, vi := range o.Match.MissingIdx {
+			v := o.Visits[vi]
+			if v.POIID < 0 {
+				unsnapped++
+				continue
+			}
+			if err := hist.Add(v.Category.String()); err != nil {
+				return nil, fmt.Errorf("eval: fig4: %w", err)
+			}
+		}
+	}
+	r := &Report{ID: "fig4", Title: "Missing checkins by POI category"}
+	t := Table{Title: "Figure 4", Header: []string{"Category", "Share %"}}
+	percs := hist.Percentages()
+	type kv struct {
+		name string
+		pct  float64
+	}
+	var kvs []kv
+	for i, name := range hist.Categories() {
+		kvs = append(kvs, kv{name, percs[i]})
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.1f", percs[i])})
+	}
+	r.Tables = append(r.Tables, t)
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].pct > kvs[j].pct })
+	top3 := []string{kvs[0].name, kvs[1].name, kvs[2].name}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"top-3 categories: %v (paper: [Professional Shop Food])", top3))
+	if unsnapped > 0 {
+		r.Notes = append(r.Notes, fmt.Sprintf("%d missing visits had no POI within snap radius (excluded)", unsnapped))
+	}
+	return r, nil
+}
+
+// Table2 regenerates Table 2: Pearson correlations between per-user
+// checkin-type ratios and profile features.
+func Table2(ctx *Context) (*Report, error) {
+	fc, err := classify.CorrelateFeatures(ctx.PrimaryOuts, ctx.Cls)
+	if err != nil {
+		return nil, fmt.Errorf("eval: table2: %w", err)
+	}
+	r := &Report{ID: "table2", Title: "Correlation between checkin-type ratio and profile features"}
+	t := Table{Title: "Table 2", Header: append([]string{"Checkin type"}, classify.FeatureNames()...)}
+	pt := Table{Title: "Table 2 (paper)", Header: t.Header}
+	for _, k := range []classify.Kind{classify.Superfluous, classify.Remote, classify.Driveby, classify.Honest} {
+		row := []string{k.String()}
+		prow := []string{k.String()}
+		for i := 0; i < 4; i++ {
+			row = append(row, fmt.Sprintf("%+.2f", fc.Rows[k][i]))
+			prow = append(prow, fmt.Sprintf("%+.2f", paperTable2[k][i]))
+		}
+		t.Rows = append(t.Rows, row)
+		pt.Rows = append(pt.Rows, prow)
+	}
+	r.Tables = append(r.Tables, t, pt)
+
+	signAgree := 0
+	for _, k := range []classify.Kind{classify.Superfluous, classify.Remote, classify.Driveby, classify.Honest} {
+		for i := 0; i < 4; i++ {
+			if (fc.Rows[k][i] >= 0) == (paperTable2[k][i] >= 0) {
+				signAgree++
+			}
+		}
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf("sign agreement with paper: %d/16 cells (users: %d)", signAgree, fc.Users))
+	return r, nil
+}
+
+// Fig5 regenerates Figure 5: the CDF across users of per-kind extraneous
+// checkin ratios.
+func Fig5(ctx *Context) (*Report, error) {
+	x := stats.LinSpace(0, 1, 21)
+	fig := Figure{
+		Title:  "Figure 5: per-user extraneous checkin ratio",
+		XLabel: "ratio",
+		YLabel: "CDF % of users",
+		X:      x,
+	}
+	for _, spec := range []struct {
+		name string
+		k    classify.Kind
+	}{
+		{"Driveby", classify.Driveby},
+		{"Superfluous", classify.Superfluous},
+		{"Remote", classify.Remote},
+		{"All Extraneous", classify.Kind(-1)},
+	} {
+		fig.Series = append(fig.Series, Series{
+			Name: spec.name,
+			Y:    stats.NewCDF(classify.PerUserRatios(ctx.Cls, spec.k)).Points(x),
+		})
+	}
+	r := &Report{ID: "fig5", Title: "Extraneous checkins are widespread across users"}
+	r.Figures = append(r.Figures, fig)
+
+	all := classify.PerUserRatios(ctx.Cls, classify.Kind(-1))
+	r.Notes = append(r.Notes,
+		note("users with extraneous ratio >= 0.8", fracAtLeast(all, 0.8), 0.20),
+		note("users with any extraneous checkin", fracAtLeast(all, 1e-9), 0.95),
+	)
+	ft := classify.ComputeFilterTradeoff(ctx.Cls)
+	dropped, honestLost := ft.HonestLossAt(0.8)
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"filtering users behind 80%% of extraneous checkins drops %d users and loses %.0f%% of honest checkins (paper: 53%%)",
+		dropped, 100*honestLost))
+	return r, nil
+}
+
+// Fig6 regenerates Figure 6: burstiness — the CDF of inter-arrival time
+// per checkin type.
+func Fig6(ctx *Context) (*Report, error) {
+	x := stats.LogSpace(0.1, 1000, 30)
+	fig := Figure{
+		Title:  "Figure 6: inter-arrival time by checkin type",
+		XLabel: "minutes",
+		YLabel: "CDF %",
+		X:      x,
+	}
+	var remoteGaps []float64
+	var extraneousUnder1 []float64
+	for _, spec := range []struct {
+		name string
+		k    classify.Kind
+	}{
+		{"Remote", classify.Remote},
+		{"Superfluous", classify.Superfluous},
+		{"Driveby", classify.Driveby},
+		{"Honest", classify.Honest},
+	} {
+		gaps := classify.InterArrivals(ctx.PrimaryOuts, ctx.Cls, spec.k)
+		if spec.k == classify.Remote {
+			remoteGaps = gaps
+		}
+		if spec.k != classify.Honest {
+			extraneousUnder1 = append(extraneousUnder1, gaps...)
+		}
+		fig.Series = append(fig.Series, Series{Name: spec.name, Y: stats.NewCDF(gaps).Points(x)})
+	}
+	r := &Report{ID: "fig6", Title: "Extraneous checkins are temporally bursty"}
+	r.Figures = append(r.Figures, fig)
+	honestGaps := classify.InterArrivals(ctx.PrimaryOuts, ctx.Cls, classify.Honest)
+	r.Notes = append(r.Notes,
+		note("extraneous inter-arrivals < 1 min", stats.NewCDF(extraneousUnder1).Eval(1), 0.35),
+		note("extraneous inter-arrivals < 10 min", stats.NewCDF(extraneousUnder1).Eval(10), 0.55),
+		note("honest inter-arrivals < 10 min", stats.NewCDF(honestGaps).Eval(10), 0.10),
+		fmt.Sprintf("remote gap sample size: %d", len(remoteGaps)),
+	)
+	return r, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

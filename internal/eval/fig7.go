@@ -1,0 +1,251 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"geosocial/internal/core"
+	"geosocial/internal/levy"
+	"geosocial/internal/stats"
+)
+
+// Models bundles the three fitted Levy-walk models of §6.1.
+type Models struct {
+	GPS    *levy.Model
+	Honest *levy.Model
+	All    *levy.Model
+}
+
+// FitModels trains the three mobility models exactly as §6.1 describes:
+// the GPS model from detected visits (flights, pauses), the
+// honest-checkin model from matched checkins only, and the all-checkin
+// model from the full checkin trace; the checkin models borrow the GPS
+// pause distribution.
+func FitModels(outs []core.UserOutcome) (*Models, error) {
+	var gpsSm, honestSm, allSm levy.Sample
+	for _, o := range outs {
+		gpsSm = levy.Merge(gpsSm, levy.SampleFromVisits(o.Visits))
+		matched := make(map[int]bool, len(o.Match.Matches))
+		for _, m := range o.Match.Matches {
+			matched[m.CheckinIdx] = true
+		}
+		honestSm = levy.Merge(honestSm, levy.SampleFromCheckins(o.User.Checkins,
+			func(i int) bool { return matched[i] }))
+		allSm = levy.Merge(allSm, levy.SampleFromCheckins(o.User.Checkins, nil))
+	}
+	opt := levy.DefaultFitOptions()
+	gps, err := levy.Fit("gps", gpsSm, opt)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fit gps model: %w", err)
+	}
+	honest, err := levy.Fit("honest-checkin", honestSm, opt)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fit honest model: %w", err)
+	}
+	all, err := levy.Fit("all-checkin", allSm, opt)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fit all-checkin model: %w", err)
+	}
+	return &Models{
+		GPS:    gps,
+		Honest: honest.WithPauseFrom(gps),
+		All:    all.WithPauseFrom(gps),
+	}, nil
+}
+
+// flightStats collects the raw flight samples per model for plotting.
+func flightSamples(outs []core.UserOutcome) (gps, honest, all []levy.Flight) {
+	for _, o := range outs {
+		gps = append(gps, levy.SampleFromVisits(o.Visits).Flights...)
+		matched := make(map[int]bool, len(o.Match.Matches))
+		for _, m := range o.Match.Matches {
+			matched[m.CheckinIdx] = true
+		}
+		honest = append(honest, levy.SampleFromCheckins(o.User.Checkins,
+			func(i int) bool { return matched[i] }).Flights...)
+		all = append(all, levy.SampleFromCheckins(o.User.Checkins, nil).Flights...)
+	}
+	return gps, honest, all
+}
+
+// Fig7 regenerates Figure 7: the mobility-model fitting plots — (a)
+// movement distance PDF with Pareto fits, (b) movement time vs distance
+// with power-law fits, (c) pause time PDF with its fit.
+func Fig7(ctx *Context) (*Report, error) {
+	models, err := FitModels(ctx.PrimaryOuts)
+	if err != nil {
+		return nil, err
+	}
+	gpsFl, honestFl, allFl := flightSamples(ctx.PrimaryOuts)
+
+	r := &Report{ID: "fig7", Title: "Levy-walk model fitting on honest-checkin, all-checkin and GPS traces"}
+
+	// (a) Movement distance PDF, log-binned 0.01–1000 km, plus fits.
+	xa := stats.LogSpace(0.01, 1000, 25)
+	figA := Figure{Title: "Figure 7(a): movement distance PDF", XLabel: "km", YLabel: "PDF", X: xa}
+	for _, spec := range []struct {
+		name    string
+		flights []levy.Flight
+		model   *levy.Model
+	}{
+		{"Honest-Ckin", honestFl, models.Honest},
+		{"GPS", gpsFl, models.GPS},
+		{"All-Ckin", allFl, models.All},
+	} {
+		hist := stats.NewLogHistogram(0.01, 1000, 24)
+		for _, f := range spec.flights {
+			hist.Add(f.Dist)
+		}
+		pdf := hist.PDF()
+		centers := hist.Centers()
+		// Interpolate histogram PDF onto the x grid (nearest bin).
+		y := make([]float64, len(xa))
+		for i, x := range xa {
+			y[i] = nearestBinValue(centers, pdf, x)
+		}
+		figA.Series = append(figA.Series, Series{Name: spec.name, Y: y})
+		fitY := make([]float64, len(xa))
+		for i, x := range xa {
+			fitY[i] = spec.model.FlightDist.PDF(x)
+		}
+		figA.Series = append(figA.Series, Series{Name: spec.name + " Fit", Y: fitY})
+	}
+	r.Figures = append(r.Figures, figA)
+
+	// (b) Movement time vs distance: per-distance-bin median plus fits.
+	xb := stats.LogSpace(0.01, 1000, 25)
+	figB := Figure{Title: "Figure 7(b): movement time vs distance", XLabel: "km", YLabel: "minutes", X: xb}
+	for _, spec := range []struct {
+		name    string
+		flights []levy.Flight
+		model   *levy.Model
+	}{
+		{"Honest-Ckin", honestFl, models.Honest},
+		{"All-Ckin", allFl, models.All},
+		{"GPS", gpsFl, models.GPS},
+	} {
+		figB.Series = append(figB.Series,
+			Series{Name: spec.name, Y: binnedMedianTime(spec.flights, xb)},
+			Series{Name: spec.name + " Fit", Y: evalFit(spec.model.MoveTime.Eval, xb)},
+		)
+	}
+	r.Figures = append(r.Figures, figB)
+
+	// (c) Pause time PDF (GPS only) with fit, 10–1000 minutes.
+	xc := stats.LogSpace(6, 1000, 20)
+	figC := Figure{Title: "Figure 7(c): pause time PDF (GPS)", XLabel: "minutes", YLabel: "PDF", X: xc}
+	var pauses []float64
+	for _, o := range ctx.PrimaryOuts {
+		pauses = append(pauses, levy.SampleFromVisits(o.Visits).Pauses...)
+	}
+	histC := stats.NewLogHistogram(6, 1000, 19)
+	histC.AddAll(pauses)
+	pdfC := histC.PDF()
+	centersC := histC.Centers()
+	yC := make([]float64, len(xc))
+	for i, x := range xc {
+		yC[i] = nearestBinValue(centersC, pdfC, x)
+	}
+	figC.Series = append(figC.Series,
+		Series{Name: "GPS", Y: yC},
+		Series{Name: "GPS Fit", Y: evalFit(models.GPS.Pause.PDF, xc)},
+	)
+	r.Figures = append(r.Figures, figC)
+
+	// Shape notes: the paper's observations about the three models.
+	medGPS := medianDist(gpsFl)
+	medHonest := medianDist(honestFl)
+	medAll := medianDist(allFl)
+	fastGPS := fastSegmentShare(gpsFl)
+	fastAll := fastSegmentShare(allFl)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("median flight km: gps=%.2f honest=%.2f all=%.2f (paper: checkin models lower than GPS)", medGPS, medHonest, medAll),
+		fmt.Sprintf("fast segments (>40 km/h implied): gps=%.3f all=%.3f (paper: all-checkin has many more)", fastGPS, fastAll),
+		fmt.Sprintf("flight Pareto alpha: gps=%.2f honest=%.2f all=%.2f", models.GPS.FlightDist.Alpha, models.Honest.FlightDist.Alpha, models.All.FlightDist.Alpha),
+		fmt.Sprintf("move-time fit: gps %v | honest %v | all %v", models.GPS.MoveTime, models.Honest.MoveTime, models.All.MoveTime),
+		fmt.Sprintf("pause Pareto: %v", models.GPS.Pause),
+	)
+	if medHonest >= medGPS {
+		r.Notes = append(r.Notes, "WARNING: honest-checkin median flight not below GPS (paper shape violated)")
+	}
+	if fastAll <= fastGPS {
+		r.Notes = append(r.Notes, "WARNING: all-checkin fast-segment share not above GPS (paper shape violated)")
+	}
+	return r, nil
+}
+
+// nearestBinValue returns the histogram value of the bin whose center is
+// closest to x (0 when the histogram is empty).
+func nearestBinValue(centers, values []float64, x float64) float64 {
+	if len(centers) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(centers, x)
+	if i == 0 {
+		return values[0]
+	}
+	if i >= len(centers) {
+		return values[len(values)-1]
+	}
+	if x-centers[i-1] < centers[i]-x {
+		return values[i-1]
+	}
+	return values[i]
+}
+
+// binnedMedianTime computes the median movement time per distance bin
+// around each grid point (NaN-free: zero when a bin is empty).
+func binnedMedianTime(flights []levy.Flight, grid []float64) []float64 {
+	out := make([]float64, len(grid))
+	for i := range grid {
+		lo := grid[i] / 1.6
+		hi := grid[i] * 1.6
+		var ts []float64
+		for _, f := range flights {
+			if f.Dist >= lo && f.Dist < hi {
+				ts = append(ts, f.Time)
+			}
+		}
+		if len(ts) > 0 {
+			out[i] = stats.Quantile(ts, 0.5)
+		}
+	}
+	return out
+}
+
+func evalFit(f func(float64) float64, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		v := f(x)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func medianDist(fl []levy.Flight) float64 {
+	ds := make([]float64, len(fl))
+	for i, f := range fl {
+		ds[i] = f.Dist
+	}
+	return stats.Quantile(ds, 0.5)
+}
+
+// fastSegmentShare returns the fraction of flights whose implied speed
+// exceeds 40 km/h — the "fast moving segments" the paper attributes to
+// extraneous checkins.
+func fastSegmentShare(fl []levy.Flight) float64 {
+	if len(fl) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range fl {
+		if f.Time > 0 && f.Dist/(f.Time/60) > 40 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(fl))
+}

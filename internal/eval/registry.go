@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment against a prepared context.
+type Runner func(ctx *Context) (*Report, error)
+
+// Registry maps experiment IDs to runners. Fig 8 takes scale parameters;
+// the registry entry uses QuickMANET at scales below 0.5 and the paper's
+// full setup otherwise.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": Table1,
+		"fig1":   Fig1,
+		"fig2":   Fig2,
+		"fig3":   Fig3,
+		"fig4":   Fig4,
+		"table2": Table2,
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"fig8": func(ctx *Context) (*Report, error) {
+			scale := QuickMANET()
+			if ctx.Scale >= 0.5 {
+				scale = FullMANET()
+			}
+			return Fig8(ctx, scale, ctx.Seed)
+		},
+	}
+}
+
+// IDs returns the experiment IDs in presentation order.
+func IDs() []string {
+	ids := []string{"table1", "fig1", "fig2", "fig3", "fig4", "table2", "fig5", "fig6", "fig7", "fig8"}
+	reg := Registry()
+	if len(ids) != len(reg) {
+		// Guard against registry drift.
+		var missing []string
+		for id := range reg {
+			found := false
+			for _, known := range ids {
+				if id == known {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing = append(missing, id)
+			}
+		}
+		sort.Strings(missing)
+		ids = append(ids, missing...)
+	}
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(ctx *Context, id string) (*Report, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(ctx)
+}

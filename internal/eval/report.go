@@ -1,0 +1,156 @@
+// Package eval is the experiment harness: one runner per table and figure
+// in the paper's evaluation, producing the same rows and series the paper
+// reports, with the paper's published values alongside for comparison.
+//
+// Experiment IDs: table1, fig1, fig2, fig3, fig4, table2, fig5, fig6,
+// fig7, fig8 — see DESIGN.md §4 for the index.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named line of a figure: y values over the shared x grid.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a set of series over a common x axis, rendered as columns.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Render writes the figure as an aligned column listing (x followed by
+// one column per series).
+func (f *Figure) Render(w io.Writer) error {
+	t := Table{Title: fmt.Sprintf("%s   [y: %s]", f.Title, f.YLabel)}
+	t.Header = append(t.Header, f.XLabel)
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for i, x := range f.X {
+		row := []string{fmtNum(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmtNum(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t.Render(w)
+}
+
+func fmtNum(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1000 || av < 0.001:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Report is the outcome of one experiment runner.
+type Report struct {
+	ID      string
+	Title   string
+	Tables  []Table
+	Figures []Figure
+	// Notes carries measured-vs-paper comparison lines.
+	Notes []string
+}
+
+// Render writes the full report.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== %s: %s ===\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for i := range r.Tables {
+		if err := r.Tables[i].Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for i := range r.Figures {
+		if err := r.Figures[i].Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// note formats a measured-vs-paper comparison line.
+func note(what string, measured, paper float64) string {
+	return fmt.Sprintf("%s: measured %.3g (paper %.3g)", what, measured, paper)
+}

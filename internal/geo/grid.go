@@ -1,0 +1,141 @@
+package geo
+
+import "math"
+
+// GridIndex is a uniform spatial hash over lat/lon points supporting
+// radius queries. It is the workhorse behind checkin-to-visit candidate
+// lookup (α-radius search over tens of thousands of visits) and MANET
+// neighbor discovery.
+//
+// The index buckets points into cells of cellMeters on a side in a local
+// equirectangular projection; a radius query scans only the cells
+// overlapping the query disk and verifies candidates with an exact
+// distance check.
+type GridIndex struct {
+	proj  *Projection
+	cell  float64
+	cells map[gridKey][]int32
+	pts   []LatLon
+}
+
+type gridKey struct{ cx, cy int32 }
+
+// NewGridIndex builds an index over pts with the given cell size in
+// meters. cellMeters should be on the order of the typical query radius;
+// values <= 0 default to 500 m. The slice is not retained beyond copying.
+func NewGridIndex(pts []LatLon, cellMeters float64) *GridIndex {
+	if cellMeters <= 0 {
+		cellMeters = 500
+	}
+	origin := LatLon{}
+	if len(pts) > 0 {
+		origin = BoundsOf(pts).Center()
+	}
+	g := &GridIndex{
+		proj:  NewProjection(origin),
+		cell:  cellMeters,
+		cells: make(map[gridKey][]int32, len(pts)/4+1),
+		pts:   append([]LatLon(nil), pts...),
+	}
+	for i, p := range g.pts {
+		k := g.keyFor(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *GridIndex) keyFor(p LatLon) gridKey {
+	x, y := g.proj.ToXY(p)
+	return gridKey{cx: int32(math.Floor(x / g.cell)), cy: int32(math.Floor(y / g.cell))}
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+// Point returns the indexed point at position i.
+func (g *GridIndex) Point(i int) LatLon { return g.pts[i] }
+
+// Within appends to dst the indices of all points within radius meters of
+// q (great-circle distance) and returns the extended slice. Order is
+// unspecified.
+func (g *GridIndex) Within(q LatLon, radius float64, dst []int) []int {
+	if radius < 0 || len(g.pts) == 0 {
+		return dst
+	}
+	qx, qy := g.proj.ToXY(q)
+	r := int32(math.Ceil(radius / g.cell))
+	ck := g.keyFor(q)
+	for cy := ck.cy - r; cy <= ck.cy+r; cy++ {
+		for cx := ck.cx - r; cx <= ck.cx+r; cx++ {
+			for _, idx := range g.cells[gridKey{cx, cy}] {
+				p := g.pts[idx]
+				// Cheap planar prefilter before the exact test.
+				px, py := g.proj.ToXY(p)
+				dx, dy := px-qx, py-qy
+				if dx*dx+dy*dy > (radius+g.cell)*(radius+g.cell) {
+					continue
+				}
+				if Distance(q, p) <= radius {
+					dst = append(dst, int(idx))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the index of the point closest to q and its distance in
+// meters, or (-1, +Inf) when the index is empty. It expands the search
+// ring by ring so typical queries touch only a few cells.
+func (g *GridIndex) Nearest(q LatLon) (int, float64) {
+	if len(g.pts) == 0 {
+		return -1, math.Inf(1)
+	}
+	best := -1
+	bestDist := math.Inf(1)
+	ck := g.keyFor(q)
+	maxRing := int32(1)
+	// Upper bound on rings: enough to cover the whole indexed extent.
+	for k := range g.cells {
+		dx := k.cx - ck.cx
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := k.cy - ck.cy
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx > maxRing {
+			maxRing = dx
+		}
+		if dy > maxRing {
+			maxRing = dy
+		}
+	}
+	for ring := int32(0); ring <= maxRing; ring++ {
+		found := false
+		for cy := ck.cy - ring; cy <= ck.cy+ring; cy++ {
+			for cx := ck.cx - ring; cx <= ck.cx+ring; cx++ {
+				// Only the ring perimeter; inner cells were already scanned.
+				if ring > 0 && cx != ck.cx-ring && cx != ck.cx+ring &&
+					cy != ck.cy-ring && cy != ck.cy+ring {
+					continue
+				}
+				for _, idx := range g.cells[gridKey{cx, cy}] {
+					d := Distance(q, g.pts[idx])
+					if d < bestDist {
+						bestDist = d
+						best = int(idx)
+					}
+					found = true
+				}
+			}
+		}
+		// Once something is found, one extra ring guarantees correctness
+		// (a nearer point can hide in the next ring due to cell geometry).
+		if found && best >= 0 && bestDist <= float64(ring)*g.cell {
+			break
+		}
+	}
+	return best, bestDist
+}

@@ -1,0 +1,343 @@
+// Package levy implements the Levy-walk mobility model used in the
+// paper's application-impact study (§6.1, after Rhee et al., "On the
+// Levy-walk nature of human mobility"): fitting the model's three inputs —
+// movement (flight) distance, movement time, and pause time — to a trace,
+// and generating synthetic node movement from a fitted model.
+//
+// Following the paper, movement distance and pause time are fitted to
+// Pareto (power-law) distributions and movement time to the relation
+// t = k·d^ρexp (a power law of distance, §6.1's "t = k·d^(1-ρ)").
+// Checkin-derived traces carry no pause information, so their models
+// borrow the GPS-fitted pause distribution — exactly the "conservative
+// approach" the paper takes.
+package levy
+
+import (
+	"fmt"
+	"math"
+
+	"geosocial/internal/rng"
+	"geosocial/internal/stats"
+)
+
+// Flight is one movement leg: a displacement of Dist kilometers taking
+// Time minutes.
+type Flight struct {
+	Dist float64 // km
+	Time float64 // minutes
+}
+
+// Sample is the trace-derived input to model fitting.
+type Sample struct {
+	Flights []Flight
+	// Pauses are stay durations in minutes; may be empty (checkin traces).
+	Pauses []float64
+}
+
+// Model is a fitted Levy-walk model.
+type Model struct {
+	// Name labels the training trace ("gps", "honest-checkin",
+	// "all-checkin").
+	Name string
+	// FlightDist is the Pareto fit of flight length in km.
+	FlightDist stats.ParetoFit
+	// FlightMax truncates generated flights (km); it is the longest
+	// flight observed during fitting.
+	FlightMax float64
+	// MoveTime is the power-law fit of movement time (min) against
+	// distance (km): t = K·d^Exp.
+	MoveTime stats.PowerLawFit
+	// MoveTimeSpread is the multiplicative log-normal sigma of observed
+	// movement times around the fitted relation.
+	MoveTimeSpread float64
+	// Pause is the Pareto fit of pause time in minutes.
+	Pause stats.ParetoFit
+	// PauseMax truncates generated pauses (minutes).
+	PauseMax float64
+}
+
+// FitOptions tune model fitting.
+type FitOptions struct {
+	// MinFlightKm drops flights shorter than this before fitting (GPS
+	// noise floor). Default 0.01 km.
+	MinFlightKm float64
+	// MinPauseMin drops pauses shorter than this. Default 6 (the visit
+	// threshold).
+	MinPauseMin float64
+	// XmQuantile anchors the Pareto scale parameter at this sample
+	// quantile (clamped below by MinFlightKm). Anchoring at a low
+	// quantile instead of the global minimum keeps the fitted shape
+	// sensitive to where each trace's flight mass actually sits — the
+	// mechanism by which the three §6.1 models differ. Default 0.10.
+	XmQuantile float64
+}
+
+// DefaultFitOptions returns the defaults used throughout the repository.
+func DefaultFitOptions() FitOptions {
+	return FitOptions{MinFlightKm: 0.01, MinPauseMin: 6, XmQuantile: 0.10}
+}
+
+// Fit fits a Levy-walk model to the sample. When the sample has no pauses
+// the caller must graft one from a GPS model via WithPauseFrom.
+func Fit(name string, sm Sample, opt FitOptions) (*Model, error) {
+	if opt.MinFlightKm <= 0 {
+		opt.MinFlightKm = 0.01
+	}
+	if opt.MinPauseMin <= 0 {
+		opt.MinPauseMin = 6
+	}
+	var dists, times []float64
+	maxD := 0.0
+	for _, f := range sm.Flights {
+		if f.Dist < opt.MinFlightKm || f.Time <= 0 {
+			continue
+		}
+		dists = append(dists, f.Dist)
+		times = append(times, f.Time)
+		if f.Dist > maxD {
+			maxD = f.Dist
+		}
+	}
+	if len(dists) < 10 {
+		return nil, fmt.Errorf("levy: too few usable flights (%d) fitting %q", len(dists), name)
+	}
+	xm := opt.MinFlightKm
+	if opt.XmQuantile > 0 {
+		if q := stats.Quantile(dists, opt.XmQuantile); q > xm {
+			xm = q
+		}
+	}
+	fd, err := stats.FitPareto(dists, xm)
+	if err != nil {
+		return nil, fmt.Errorf("levy: flight fit for %q: %w", name, err)
+	}
+	mt, err := stats.FitPowerLaw(dists, times)
+	if err != nil {
+		return nil, fmt.Errorf("levy: move-time fit for %q: %w", name, err)
+	}
+	m := &Model{
+		Name:       name,
+		FlightDist: fd,
+		FlightMax:  maxD,
+		MoveTime:   mt,
+	}
+	// Residual spread of log(t) around the fit.
+	var ss float64
+	for i := range dists {
+		r := math.Log(times[i]) - math.Log(mt.Eval(dists[i]))
+		ss += r * r
+	}
+	m.MoveTimeSpread = math.Sqrt(ss / float64(len(dists)))
+
+	if len(sm.Pauses) > 0 {
+		var ps []float64
+		maxP := 0.0
+		for _, p := range sm.Pauses {
+			if p < opt.MinPauseMin {
+				continue
+			}
+			ps = append(ps, p)
+			if p > maxP {
+				maxP = p
+			}
+		}
+		if len(ps) >= 10 {
+			pf, err := stats.FitPareto(ps, opt.MinPauseMin)
+			if err != nil {
+				return nil, fmt.Errorf("levy: pause fit for %q: %w", name, err)
+			}
+			m.Pause = pf
+			m.PauseMax = maxP
+		}
+	}
+	return m, nil
+}
+
+// HasPause reports whether the model carries a fitted pause distribution.
+func (m *Model) HasPause() bool { return m.Pause.Alpha > 0 }
+
+// WithPauseFrom returns a copy of m using the pause distribution of o —
+// the paper's treatment of checkin-trained models, which have no pause
+// information of their own.
+func (m *Model) WithPauseFrom(o *Model) *Model {
+	cp := *m
+	cp.Pause = o.Pause
+	cp.PauseMax = o.PauseMax
+	return &cp
+}
+
+// String implements fmt.Stringer.
+func (m *Model) String() string {
+	return fmt.Sprintf("levy[%s]: flight=%v (max %.1fkm) moveTime=%v pause=%v (max %.0fmin)",
+		m.Name, m.FlightDist, m.FlightMax, m.MoveTime, m.Pause, m.PauseMax)
+}
+
+// Waypoint is a node position (km in a planar arena) at time T (seconds).
+type Waypoint struct {
+	T    float64 // seconds since simulation start
+	X, Y float64 // km
+}
+
+// GenOptions configure synthetic trace generation.
+type GenOptions struct {
+	// AreaKm is the side length of the square arena.
+	AreaKm float64
+	// SpawnKm is the side of the central square nodes start in. Zero
+	// means spawn across the whole arena.
+	SpawnKm float64
+	// Duration is the trace length in seconds.
+	Duration float64
+	// MinSpeedKmh floors implied flight speeds to keep degenerate fits
+	// from freezing nodes; zero disables.
+	MinSpeedKmh float64
+	// MaxSpeedKmh caps implied flight speeds; zero disables. The paper's
+	// all-checkin model produces "many more fast moving segments" — this
+	// cap mirrors physical plausibility limits without hiding them.
+	MaxSpeedKmh float64
+}
+
+// DefaultGenOptions returns the MANET experiment's arena: the paper's
+// 100 km × 100 km area, one hour of movement, nodes spawned in a central
+// 12 km box (a population cluster; with uniform spawning over 10^4 km²
+// and a 1 km radio range the network would be born partitioned).
+func DefaultGenOptions() GenOptions {
+	return GenOptions{
+		AreaKm:      100,
+		SpawnKm:     12,
+		Duration:    3600,
+		MinSpeedKmh: 0.5,
+		MaxSpeedKmh: 160,
+	}
+}
+
+// Generate produces per-node waypoint schedules by alternating pause and
+// flight phases: pause ~ fitted Pareto, flight length ~ fitted truncated
+// Pareto, flight direction uniform, flight duration from the movement-time
+// relation with log-normal spread. Flights reflect off arena walls.
+func (m *Model) Generate(nodes int, opt GenOptions, s *rng.Stream) ([][]Waypoint, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("levy: nodes must be positive, got %d", nodes)
+	}
+	if opt.AreaKm <= 0 || opt.Duration <= 0 {
+		return nil, fmt.Errorf("levy: invalid generation options %+v", opt)
+	}
+	if m.FlightDist.Alpha <= 0 {
+		return nil, fmt.Errorf("levy: model %q has no flight distribution", m.Name)
+	}
+	if !m.HasPause() {
+		return nil, fmt.Errorf("levy: model %q has no pause distribution (use WithPauseFrom)", m.Name)
+	}
+	spawn := opt.SpawnKm
+	if spawn <= 0 || spawn > opt.AreaKm {
+		spawn = opt.AreaKm
+	}
+	off := (opt.AreaKm - spawn) / 2
+	out := make([][]Waypoint, nodes)
+	for n := 0; n < nodes; n++ {
+		ns := s.Split(fmt.Sprintf("node-%d", n))
+		x := off + ns.Float64()*spawn
+		y := off + ns.Float64()*spawn
+		t := 0.0
+		wps := []Waypoint{{T: 0, X: x, Y: y}}
+		// Start mid-pause so nodes don't all move at t=0.
+		t += m.samplePause(ns) * 60 * ns.Float64()
+		wps = append(wps, Waypoint{T: t, X: x, Y: y})
+		for t < opt.Duration {
+			// Flight.
+			d := ns.TruncPareto(m.FlightDist.Xm, m.FlightDist.Alpha, maxF(m.FlightMax, m.FlightDist.Xm*1.01))
+			dur := m.sampleMoveTime(d, ns) * 60 // seconds
+			if opt.MaxSpeedKmh > 0 {
+				if sp := d / (dur / 3600); sp > opt.MaxSpeedKmh {
+					dur = d / opt.MaxSpeedKmh * 3600
+				}
+			}
+			if opt.MinSpeedKmh > 0 {
+				if sp := d / (dur / 3600); sp < opt.MinSpeedKmh {
+					dur = d / opt.MinSpeedKmh * 3600
+				}
+			}
+			theta := ns.Range(0, 2*math.Pi)
+			nx, ny := reflect(x+d*math.Cos(theta), opt.AreaKm), reflect(y+d*math.Sin(theta), opt.AreaKm)
+			t += dur
+			x, y = nx, ny
+			wps = append(wps, Waypoint{T: t, X: x, Y: y})
+			// Pause.
+			t += m.samplePause(ns) * 60
+			wps = append(wps, Waypoint{T: t, X: x, Y: y})
+		}
+		out[n] = wps
+	}
+	return out, nil
+}
+
+func (m *Model) samplePause(s *rng.Stream) float64 {
+	max := m.PauseMax
+	if max <= m.Pause.Xm {
+		max = m.Pause.Xm * 10
+	}
+	return s.TruncPareto(m.Pause.Xm, m.Pause.Alpha, max)
+}
+
+// sampleMoveTime returns the movement time in minutes for a flight of d
+// km, from the fitted relation with log-normal residual spread.
+func (m *Model) sampleMoveTime(d float64, s *rng.Stream) float64 {
+	t := m.MoveTime.Eval(d)
+	if m.MoveTimeSpread > 0 {
+		t *= math.Exp(s.Norm(0, m.MoveTimeSpread))
+	}
+	if t < 0.05 {
+		t = 0.05
+	}
+	return t
+}
+
+// reflect folds a coordinate back into [0, area] by mirror reflection.
+func reflect(v, area float64) float64 {
+	for v < 0 || v > area {
+		if v < 0 {
+			v = -v
+		}
+		if v > area {
+			v = 2*area - v
+		}
+	}
+	return v
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PositionAt returns the interpolated position of a waypoint schedule at
+// time t (clamped to the schedule's ends).
+func PositionAt(wps []Waypoint, t float64) (x, y float64) {
+	if len(wps) == 0 {
+		return 0, 0
+	}
+	if t <= wps[0].T {
+		return wps[0].X, wps[0].Y
+	}
+	last := wps[len(wps)-1]
+	if t >= last.T {
+		return last.X, last.Y
+	}
+	// Binary search for the segment containing t.
+	lo, hi := 0, len(wps)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if wps[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := wps[lo], wps[hi]
+	if b.T == a.T {
+		return b.X, b.Y
+	}
+	f := (t - a.T) / (b.T - a.T)
+	return a.X + (b.X-a.X)*f, a.Y + (b.Y-a.Y)*f
+}

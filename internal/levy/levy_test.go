@@ -1,0 +1,256 @@
+package levy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geosocial/internal/rng"
+)
+
+// syntheticSample draws flights from a known Pareto with a known
+// time-distance power law, plus Pareto pauses.
+func syntheticSample(n int, alpha, k, exp float64, seed uint64) Sample {
+	s := rng.New(seed)
+	sm := Sample{}
+	for i := 0; i < n; i++ {
+		d := s.Pareto(0.1, alpha)
+		tmove := k * math.Pow(d, exp) * math.Exp(s.Norm(0, 0.2))
+		sm.Flights = append(sm.Flights, Flight{Dist: d, Time: tmove})
+		sm.Pauses = append(sm.Pauses, s.Pareto(6, 1.2))
+	}
+	return sm
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	sm := syntheticSample(30000, 1.5, 3.0, 0.7, 1)
+	m, err := Fit("test", sm, FitOptions{MinFlightKm: 0.1, MinPauseMin: 6, XmQuantile: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.FlightDist.Alpha-1.5) > 0.05 {
+		t.Errorf("flight alpha %.3f, want ~1.5", m.FlightDist.Alpha)
+	}
+	if math.Abs(m.MoveTime.Exp-0.7) > 0.05 {
+		t.Errorf("move-time exp %.3f, want ~0.7", m.MoveTime.Exp)
+	}
+	if math.Abs(m.MoveTime.K-3.0)/3.0 > 0.1 {
+		t.Errorf("move-time k %.3f, want ~3", m.MoveTime.K)
+	}
+	if math.Abs(m.Pause.Alpha-1.2) > 0.05 {
+		t.Errorf("pause alpha %.3f, want ~1.2", m.Pause.Alpha)
+	}
+	if !m.HasPause() {
+		t.Error("pause distribution missing")
+	}
+}
+
+func TestFitXmQuantile(t *testing.T) {
+	sm := syntheticSample(5000, 1.2, 2, 0.6, 2)
+	m, err := Fit("q", sm, FitOptions{MinFlightKm: 0.01, MinPauseMin: 6, XmQuantile: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pareto(0.1, 1.2) 25th percentile = 0.1 / 0.75^(1/1.2) ~= 0.127.
+	if m.FlightDist.Xm < 0.11 || m.FlightDist.Xm > 0.15 {
+		t.Errorf("xm %.3f, want ~0.127", m.FlightDist.Xm)
+	}
+}
+
+func TestFitTooFewFlights(t *testing.T) {
+	sm := Sample{Flights: []Flight{{Dist: 1, Time: 5}}}
+	if _, err := Fit("tiny", sm, DefaultFitOptions()); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}
+
+func TestWithPauseFrom(t *testing.T) {
+	full := syntheticSample(2000, 1.3, 2, 0.6, 3)
+	noPause := Sample{Flights: full.Flights}
+	m1, err := Fit("nopause", noPause, DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.HasPause() {
+		t.Fatal("pause present without pause data")
+	}
+	m2, err := Fit("withpause", full, DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grafted := m1.WithPauseFrom(m2)
+	if !grafted.HasPause() {
+		t.Fatal("graft failed")
+	}
+	if grafted.Pause != m2.Pause {
+		t.Error("grafted pause differs")
+	}
+	if m1.HasPause() {
+		t.Error("graft mutated the original")
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	sm := syntheticSample(5000, 1.4, 2, 0.6, 4)
+	m, err := Fit("gen", sm, DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := GenOptions{AreaKm: 50, SpawnKm: 10, Duration: 1800, MinSpeedKmh: 0.5, MaxSpeedKmh: 160}
+	wps, err := m.Generate(20, opt, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wps) != 20 {
+		t.Fatalf("nodes = %d", len(wps))
+	}
+	for n, sched := range wps {
+		if len(sched) < 2 {
+			t.Fatalf("node %d: schedule too short", n)
+		}
+		last := -1.0
+		for _, w := range sched {
+			if w.T < last {
+				t.Fatalf("node %d: waypoint times not monotone", n)
+			}
+			last = w.T
+			if w.X < 0 || w.X > opt.AreaKm || w.Y < 0 || w.Y > opt.AreaKm {
+				t.Fatalf("node %d: waypoint outside arena: %+v", n, w)
+			}
+		}
+		// Schedule must cover the duration.
+		if sched[len(sched)-1].T < opt.Duration {
+			t.Fatalf("node %d: schedule ends at %.0f < %.0f", n, sched[len(sched)-1].T, opt.Duration)
+		}
+		// Spawn inside the spawn box.
+		off := (opt.AreaKm - opt.SpawnKm) / 2
+		if sched[0].X < off || sched[0].X > off+opt.SpawnKm {
+			t.Fatalf("node %d spawned outside the box", n)
+		}
+	}
+}
+
+func TestGenerateSpeedCaps(t *testing.T) {
+	sm := syntheticSample(5000, 0.9, 0.01, 0.1, 6) // absurdly fast fits
+	m, err := Fit("fast", sm, DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := GenOptions{AreaKm: 100, SpawnKm: 20, Duration: 1200, MaxSpeedKmh: 100, MinSpeedKmh: 0.5}
+	wps, err := m.Generate(10, opt, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, sched := range wps {
+		for i := 1; i < len(sched); i++ {
+			dt := sched[i].T - sched[i-1].T
+			if dt <= 0 {
+				continue
+			}
+			dd := math.Hypot(sched[i].X-sched[i-1].X, sched[i].Y-sched[i-1].Y)
+			// Reflection can shorten net displacement, so only the cap
+			// (not the floor) is checkable from waypoints.
+			if sp := dd / (dt / 3600); sp > 101 {
+				t.Fatalf("node %d: speed %.1f km/h exceeds cap", n, sp)
+			}
+		}
+	}
+}
+
+func TestGenerateRequiresPause(t *testing.T) {
+	sm := Sample{Flights: syntheticSample(2000, 1.3, 2, 0.6, 8).Flights}
+	m, err := Fit("np", sm, DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Generate(5, DefaultGenOptions(), rng.New(9)); err == nil {
+		t.Fatal("generation without pause distribution accepted")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	sm := syntheticSample(2000, 1.3, 2, 0.6, 10)
+	m, _ := Fit("e", sm, DefaultFitOptions())
+	if _, err := m.Generate(0, DefaultGenOptions(), rng.New(1)); err == nil {
+		t.Error("nodes=0 accepted")
+	}
+	bad := DefaultGenOptions()
+	bad.AreaKm = 0
+	if _, err := m.Generate(5, bad, rng.New(1)); err == nil {
+		t.Error("area=0 accepted")
+	}
+}
+
+func TestPositionAt(t *testing.T) {
+	wps := []Waypoint{
+		{T: 0, X: 0, Y: 0},
+		{T: 10, X: 10, Y: 0},
+		{T: 20, X: 10, Y: 20},
+	}
+	x, y := PositionAt(wps, -5)
+	if x != 0 || y != 0 {
+		t.Error("before-start clamp failed")
+	}
+	x, y = PositionAt(wps, 5)
+	if math.Abs(x-5) > 1e-9 || y != 0 {
+		t.Errorf("midpoint = (%g, %g)", x, y)
+	}
+	x, y = PositionAt(wps, 15)
+	if x != 10 || math.Abs(y-10) > 1e-9 {
+		t.Errorf("second segment = (%g, %g)", x, y)
+	}
+	x, y = PositionAt(wps, 99)
+	if x != 10 || y != 20 {
+		t.Error("after-end clamp failed")
+	}
+	if x, y := PositionAt(nil, 0); x != 0 || y != 0 {
+		t.Error("empty schedule not zero")
+	}
+}
+
+func TestPositionAtContinuityProperty(t *testing.T) {
+	sm := syntheticSample(3000, 1.4, 2, 0.6, 11)
+	m, err := Fit("cont", sm, DefaultFitOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wps, err := m.Generate(1, GenOptions{AreaKm: 40, SpawnKm: 10, Duration: 900, MinSpeedKmh: 0.5, MaxSpeedKmh: 120}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := wps[0]
+	err = quick.Check(func(raw uint16) bool {
+		tq := float64(raw) / 65535 * 900
+		x1, y1 := PositionAt(sched, tq)
+		x2, y2 := PositionAt(sched, tq+0.1)
+		// 120 km/h = 0.0333 km in 0.1 s; allow slack.
+		return math.Hypot(x2-x1, y2-y1) < 0.05
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReflect(t *testing.T) {
+	tests := []struct{ v, area, want float64 }{
+		{5, 10, 5},
+		{-3, 10, 3},
+		{13, 10, 7},
+		{25, 10, 5},
+		{-12, 10, 8},
+	}
+	for _, tc := range tests {
+		if got := reflect(tc.v, tc.area); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("reflect(%g, %g) = %g, want %g", tc.v, tc.area, got, tc.want)
+		}
+	}
+}
+
+func TestMergeSamples(t *testing.T) {
+	a := Sample{Flights: []Flight{{1, 2}}, Pauses: []float64{7}}
+	b := Sample{Flights: []Flight{{3, 4}, {5, 6}}}
+	m := Merge(a, b)
+	if len(m.Flights) != 3 || len(m.Pauses) != 1 {
+		t.Fatalf("merge = %+v", m)
+	}
+}

@@ -1,0 +1,69 @@
+package levy
+
+import (
+	"time"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/trace"
+	"geosocial/internal/visits"
+)
+
+// maxLegGap bounds the inter-event gap treated as one movement: longer
+// gaps (overnight, tracking outages) are not flights. Standard Levy-walk
+// trace preparation; the paper inherits it from Rhee et al.
+const maxLegGap = 8 * time.Hour
+
+// SampleFromVisits builds a fitting sample from one user's detected
+// visits: flights between consecutive visits and pauses from visit
+// durations. Append samples across users with Merge.
+func SampleFromVisits(vs []trace.Visit) Sample {
+	segs := visits.Segments(vs, 10, maxLegGap)
+	sm := Sample{Flights: make([]Flight, 0, len(segs))}
+	for _, sg := range segs {
+		sm.Flights = append(sm.Flights, Flight{
+			Dist: sg.Dist / 1000,
+			Time: sg.Dur.Minutes(),
+		})
+	}
+	sm.Pauses = visits.Pauses(vs)
+	return sm
+}
+
+// SampleFromCheckins builds a fitting sample from one user's checkin
+// trace, treating consecutive checkins as movement endpoints — all the
+// location information a checkin trace carries. keep selects the checkin
+// indices to include (nil keeps all); pass the honest set to train the
+// honest-checkin model. Checkin traces yield no pauses.
+func SampleFromCheckins(ck trace.CheckinTrace, keep func(i int) bool) Sample {
+	var sm Sample
+	prev := -1
+	for i := range ck {
+		if keep != nil && !keep(i) {
+			continue
+		}
+		if prev >= 0 {
+			gap := time.Duration(ck[i].T-ck[prev].T) * time.Second
+			if gap > 0 && gap <= maxLegGap {
+				d := geo.Distance(ck[prev].Loc, ck[i].Loc)
+				if d >= 10 {
+					sm.Flights = append(sm.Flights, Flight{
+						Dist: d / 1000,
+						Time: gap.Minutes(),
+					})
+				}
+			}
+		}
+		prev = i
+	}
+	return sm
+}
+
+// Merge concatenates samples (per-user samples into a population sample).
+func Merge(samples ...Sample) Sample {
+	var out Sample
+	for _, s := range samples {
+		out.Flights = append(out.Flights, s.Flights...)
+		out.Pauses = append(out.Pauses, s.Pauses...)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package levy
+
+import (
+	"testing"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/trace"
+)
+
+var base = geo.LatLon{Lat: 34.4208, Lon: -119.6982}
+
+func at(dist float64) geo.LatLon { return geo.Destination(base, 90, dist) }
+
+func TestSampleFromVisits(t *testing.T) {
+	vs := []trace.Visit{
+		{Start: 0, End: 600, Loc: at(0)},
+		{Start: 1200, End: 2400, Loc: at(3000)},
+		{Start: 3000, End: 3600, Loc: at(3100)},
+	}
+	sm := SampleFromVisits(vs)
+	if len(sm.Flights) != 2 {
+		t.Fatalf("flights = %d, want 2", len(sm.Flights))
+	}
+	if sm.Flights[0].Dist < 2.9 || sm.Flights[0].Dist > 3.1 {
+		t.Errorf("flight 0 dist %.3f km, want ~3", sm.Flights[0].Dist)
+	}
+	if sm.Flights[0].Time != 10 {
+		t.Errorf("flight 0 time %.1f min, want 10", sm.Flights[0].Time)
+	}
+	if len(sm.Pauses) != 3 {
+		t.Fatalf("pauses = %d, want 3", len(sm.Pauses))
+	}
+	if sm.Pauses[0] != 10 || sm.Pauses[1] != 20 {
+		t.Errorf("pauses = %v", sm.Pauses)
+	}
+}
+
+func TestSampleFromVisitsDropsOvernight(t *testing.T) {
+	vs := []trace.Visit{
+		{Start: 0, End: 600, Loc: at(0)},
+		{Start: 600 + 9*3600, End: 600 + 9*3600 + 600, Loc: at(5000)}, // 9h gap
+	}
+	sm := SampleFromVisits(vs)
+	if len(sm.Flights) != 0 {
+		t.Fatalf("overnight leg kept: %+v", sm.Flights)
+	}
+}
+
+func TestSampleFromCheckins(t *testing.T) {
+	cks := trace.CheckinTrace{
+		{T: 0, Loc: at(0)},
+		{T: 1200, Loc: at(2000)},
+		{T: 1800, Loc: at(2000)}, // zero distance: dropped
+		{T: 3600, Loc: at(4000)},
+	}
+	sm := SampleFromCheckins(cks, nil)
+	if len(sm.Flights) != 2 {
+		t.Fatalf("flights = %d, want 2 (zero-distance leg dropped)", len(sm.Flights))
+	}
+	if len(sm.Pauses) != 0 {
+		t.Error("checkin sample has pauses")
+	}
+	if sm.Flights[0].Time != 20 {
+		t.Errorf("flight 0 time %.1f, want 20", sm.Flights[0].Time)
+	}
+}
+
+func TestSampleFromCheckinsKeepFilter(t *testing.T) {
+	cks := trace.CheckinTrace{
+		{T: 0, Loc: at(0)},
+		{T: 600, Loc: at(1000)},
+		{T: 1200, Loc: at(2000)},
+	}
+	// Keep only indices 0 and 2: one flight spanning them.
+	sm := SampleFromCheckins(cks, func(i int) bool { return i != 1 })
+	if len(sm.Flights) != 1 {
+		t.Fatalf("flights = %d, want 1", len(sm.Flights))
+	}
+	if sm.Flights[0].Dist < 1.9 || sm.Flights[0].Dist > 2.1 {
+		t.Errorf("flight dist %.3f, want ~2", sm.Flights[0].Dist)
+	}
+}
+
+func TestSampleFromCheckinsEmpty(t *testing.T) {
+	if sm := SampleFromCheckins(nil, nil); len(sm.Flights) != 0 {
+		t.Error("empty trace produced flights")
+	}
+	one := trace.CheckinTrace{{T: 0, Loc: at(0)}}
+	if sm := SampleFromCheckins(one, nil); len(sm.Flights) != 0 {
+		t.Error("single checkin produced flights")
+	}
+}

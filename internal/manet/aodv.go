@@ -1,0 +1,481 @@
+package manet
+
+// AODV (Ad hoc On-Demand Distance Vector, RFC 3561) as implemented by the
+// ns-2 simulator the paper uses [2]: reactive route discovery with
+// expanding-ring RREQ flooding, RREP unicast along reverse routes,
+// sequence-numbered route freshness, RERR propagation on link breaks, and
+// link-layer feedback for break detection (ns-2's default in place of
+// hello beacons; hello emission is available as an option).
+
+import "fmt"
+
+// AODV protocol constants (RFC 3561 defaults, times in seconds).
+const (
+	activeRouteTimeout = 10.0
+	ttlStart           = 2
+	ttlIncrement       = 2
+	ttlThreshold       = 7
+	netDiameter        = 35
+	rreqRetries        = 2
+	pathDiscoveryTime  = 2.0 // wait per discovery round before retry
+	maxQueuedPerDest   = 64
+	// unreachableBackoff suppresses new discoveries for a destination
+	// that just exhausted its retry budget (RFC 3561's DELETE_PERIOD
+	// spirit); without it a CBR source bleeds RREQ floods every packet
+	// while its peer is partitioned away.
+	unreachableBackoff = 10.0
+)
+
+// pktKind discriminates simulated packets.
+type pktKind int
+
+const (
+	pktData pktKind = iota
+	pktRREQ
+	pktRREP
+	pktRERR
+	pktHello
+)
+
+func (k pktKind) String() string {
+	switch k {
+	case pktData:
+		return "DATA"
+	case pktRREQ:
+		return "RREQ"
+	case pktRREP:
+		return "RREP"
+	case pktRERR:
+		return "RERR"
+	case pktHello:
+		return "HELLO"
+	default:
+		return fmt.Sprintf("pkt(%d)", int(k))
+	}
+}
+
+// packet is the on-air unit. Fields are a union across kinds; flow
+// identifies the originating CBR pair for overhead attribution.
+type packet struct {
+	kind pktKind
+	src  int // immediate transmitter
+	// Data.
+	flow   int
+	seq    int
+	origin int // data source / RREQ originator
+	dest   int
+	ttl    int
+	hops   int
+	// RREQ.
+	rreqID     int
+	originSeq  uint32
+	destSeq    uint32
+	unknownSeq bool
+	// RREP: dest/destSeq/hops reused; origin is the RREQ originator.
+	// RERR.
+	unreachable []unreachableDest
+}
+
+type unreachableDest struct {
+	dest    int
+	destSeq uint32
+}
+
+// routeEntry is one AODV routing-table row.
+type routeEntry struct {
+	nextHop    int
+	hopCount   int
+	destSeq    uint32
+	validSeq   bool
+	valid      bool
+	expires    float64
+	precursors map[int]bool
+}
+
+// queuedData is a buffered data packet awaiting route discovery.
+type queuedData struct {
+	pkt packet
+}
+
+// aodvNode is the per-node protocol state machine.
+type aodvNode struct {
+	id     int
+	sim    *Simulator
+	seqNo  uint32
+	rreqID int
+	routes map[int]*routeEntry
+	// seenRREQ deduplicates flooded requests: key origin<<32|rreqID.
+	seenRREQ map[uint64]bool
+	// queue buffers data per destination during discovery.
+	queue map[int][]queuedData
+	// pendingDiscovery tracks retry state per destination.
+	pendingDiscovery map[int]*discoveryState
+	// unreachableUntil suppresses re-discovery of recently failed
+	// destinations until the stored simulation time.
+	unreachableUntil map[int]float64
+}
+
+type discoveryState struct {
+	ttl     int
+	retries int
+	timer   cancelable
+}
+
+type cancelable interface{ Cancel() }
+
+func newAODVNode(id int, s *Simulator) *aodvNode {
+	return &aodvNode{
+		id:               id,
+		sim:              s,
+		routes:           make(map[int]*routeEntry),
+		seenRREQ:         make(map[uint64]bool),
+		queue:            make(map[int][]queuedData),
+		pendingDiscovery: make(map[int]*discoveryState),
+		unreachableUntil: make(map[int]float64),
+	}
+}
+
+// route returns the entry for dest, creating it if needed.
+func (n *aodvNode) route(dest int) *routeEntry {
+	r, ok := n.routes[dest]
+	if !ok {
+		r = &routeEntry{precursors: make(map[int]bool)}
+		n.routes[dest] = r
+	}
+	return r
+}
+
+// validRoute returns the usable route to dest, or nil.
+func (n *aodvNode) validRoute(dest int) *routeEntry {
+	r, ok := n.routes[dest]
+	if !ok || !r.valid || n.sim.eng.Now() > r.expires {
+		return nil
+	}
+	return r
+}
+
+// refreshRoute extends the active-route lifetime of dest (and is called
+// for source, destination and intermediate hops on data forwarding).
+func (n *aodvNode) refreshRoute(dest int) {
+	if r, ok := n.routes[dest]; ok && r.valid {
+		if exp := n.sim.eng.Now() + activeRouteTimeout; exp > r.expires {
+			r.expires = exp
+		}
+	}
+}
+
+// updateRoute installs or improves a route per the RFC's freshness rules:
+// accept when the sequence number is newer, equal with fewer hops, or the
+// entry is invalid/unknown.
+func (n *aodvNode) updateRoute(dest, nextHop, hops int, destSeq uint32, hasSeq bool) {
+	r := n.route(dest)
+	accept := !r.valid || !r.validSeq
+	if !accept && hasSeq {
+		if seqNewer(destSeq, r.destSeq) {
+			accept = true
+		} else if destSeq == r.destSeq && hops < r.hopCount {
+			accept = true
+		}
+	}
+	if !accept && !hasSeq && hops < r.hopCount {
+		accept = true
+	}
+	if !accept {
+		return
+	}
+	r.nextHop = nextHop
+	r.hopCount = hops
+	if hasSeq {
+		r.destSeq = destSeq
+		r.validSeq = true
+	}
+	r.valid = true
+	r.expires = n.sim.eng.Now() + activeRouteTimeout
+}
+
+// seqNewer reports whether a is fresher than b with wraparound semantics.
+func seqNewer(a, b uint32) bool { return int32(a-b) > 0 }
+
+// sendData originates or forwards a data packet.
+func (n *aodvNode) sendData(p packet) {
+	if p.dest == n.id {
+		n.sim.deliverData(p)
+		return
+	}
+	if p.ttl <= 0 {
+		n.sim.metrics.dropTTL++
+		return
+	}
+	r := n.validRoute(p.dest)
+	if r == nil {
+		if p.origin == n.id {
+			if until, ok := n.unreachableUntil[p.dest]; ok && n.sim.eng.Now() < until {
+				n.sim.metrics.dropUnreachable++
+				return
+			}
+			// Source: buffer and discover.
+			if len(n.queue[p.dest]) < maxQueuedPerDest {
+				n.queue[p.dest] = append(n.queue[p.dest], queuedData{pkt: p})
+			} else {
+				n.sim.metrics.dropQueueFull++
+			}
+			n.startDiscovery(p.dest)
+		} else {
+			// Intermediate node lost the route: drop and report upstream.
+			n.sim.metrics.dropNoRoute++
+			n.sendRERR(p.dest, p.flow)
+		}
+		return
+	}
+	r.precursors[p.src] = true
+	n.refreshRoute(p.dest)
+	n.refreshRoute(r.nextHop)
+	p.ttl--
+	p.hops++
+	n.sim.unicast(n.id, r.nextHop, p)
+}
+
+// startDiscovery begins (or continues) expanding-ring route discovery.
+func (n *aodvNode) startDiscovery(dest int) {
+	if _, running := n.pendingDiscovery[dest]; running {
+		return
+	}
+	ttl := ttlStart
+	if n.sim.cfg.FullFloodRREQ {
+		ttl = netDiameter
+	}
+	st := &discoveryState{ttl: ttl}
+	n.pendingDiscovery[dest] = st
+	n.issueRREQ(dest, st)
+}
+
+func (n *aodvNode) issueRREQ(dest int, st *discoveryState) {
+	n.seqNo++
+	n.rreqID++
+	var destSeq uint32
+	unknown := true
+	if r, ok := n.routes[dest]; ok && r.validSeq {
+		destSeq = r.destSeq
+		unknown = false
+	}
+	p := packet{
+		kind:       pktRREQ,
+		flow:       n.sim.flowOf(n.id, dest),
+		origin:     n.id,
+		dest:       dest,
+		ttl:        st.ttl,
+		rreqID:     n.rreqID,
+		originSeq:  n.seqNo,
+		destSeq:    destSeq,
+		unknownSeq: unknown,
+	}
+	n.seenRREQ[rreqKey(n.id, n.rreqID)] = true
+	n.sim.broadcast(n.id, p)
+	// Retry timer.
+	st.timer = n.sim.eng.After(pathDiscoveryTime, func() { n.discoveryTimeout(dest) })
+}
+
+func (n *aodvNode) discoveryTimeout(dest int) {
+	st, ok := n.pendingDiscovery[dest]
+	if !ok {
+		return
+	}
+	if n.validRoute(dest) != nil {
+		delete(n.pendingDiscovery, dest)
+		n.flushQueue(dest)
+		return
+	}
+	// Expanding ring, then full-diameter retries.
+	if st.ttl < ttlThreshold {
+		st.ttl += ttlIncrement
+	} else if st.ttl < netDiameter {
+		st.ttl = netDiameter
+	} else {
+		st.retries++
+		if st.retries > rreqRetries {
+			// Destination unreachable: drop the buffered packets and
+			// back off before trying again.
+			n.sim.metrics.dropUnreachable += len(n.queue[dest])
+			delete(n.queue, dest)
+			delete(n.pendingDiscovery, dest)
+			n.unreachableUntil[dest] = n.sim.eng.Now() + unreachableBackoff
+			return
+		}
+	}
+	n.issueRREQ(dest, st)
+}
+
+// flushQueue sends the data buffered for dest once a route exists.
+func (n *aodvNode) flushQueue(dest int) {
+	q := n.queue[dest]
+	delete(n.queue, dest)
+	for _, qd := range q {
+		n.sendData(qd.pkt)
+	}
+}
+
+func rreqKey(origin, id int) uint64 { return uint64(origin)<<32 | uint64(uint32(id)) }
+
+// handleRREQ processes a received route request.
+func (n *aodvNode) handleRREQ(p packet) {
+	if p.origin == n.id {
+		return
+	}
+	key := rreqKey(p.origin, p.rreqID)
+	if n.seenRREQ[key] {
+		return
+	}
+	n.seenRREQ[key] = true
+
+	// Reverse route to the originator (and to the transmitter).
+	n.updateRoute(p.src, p.src, 1, 0, false)
+	n.updateRoute(p.origin, p.src, p.hops+1, p.originSeq, true)
+
+	// Answer if we are the destination or hold a fresh-enough route.
+	if p.dest == n.id {
+		if !p.unknownSeq && seqNewer(p.destSeq, n.seqNo) {
+			n.seqNo = p.destSeq
+		}
+		n.seqNo++
+		n.sendRREP(p.origin, n.id, 0, n.seqNo, p.flow)
+		return
+	}
+	if r := n.validRoute(p.dest); r != nil && r.validSeq && (!p.unknownSeq && !seqNewer(p.destSeq, r.destSeq) || p.unknownSeq) {
+		// Intermediate reply from cached route (RFC gratuitous RREP to
+		// the destination is omitted, as in ns-2's default).
+		n.sendRREP(p.origin, p.dest, r.hopCount, r.destSeq, p.flow)
+		return
+	}
+	// Rebroadcast with decremented TTL.
+	if p.ttl <= 1 {
+		return
+	}
+	p.ttl--
+	p.hops++
+	p.src = n.id
+	n.sim.broadcast(n.id, p)
+}
+
+// sendRREP unicasts a route reply toward the RREQ originator.
+func (n *aodvNode) sendRREP(origin, dest, hopsToDest int, destSeq uint32, flow int) {
+	r := n.validRoute(origin)
+	if r == nil {
+		return
+	}
+	p := packet{
+		kind:    pktRREP,
+		flow:    flow,
+		origin:  origin,
+		dest:    dest,
+		destSeq: destSeq,
+		hops:    hopsToDest,
+		ttl:     netDiameter,
+	}
+	n.sim.unicast(n.id, r.nextHop, p)
+}
+
+// handleRREP processes a received route reply.
+func (n *aodvNode) handleRREP(p packet) {
+	// Forward route to the reply's destination.
+	n.updateRoute(p.src, p.src, 1, 0, false)
+	n.updateRoute(p.dest, p.src, p.hops+1, p.destSeq, true)
+
+	if p.origin == n.id {
+		// Discovery complete.
+		if st, ok := n.pendingDiscovery[p.dest]; ok {
+			if st.timer != nil {
+				st.timer.Cancel()
+			}
+			delete(n.pendingDiscovery, p.dest)
+		}
+		n.flushQueue(p.dest)
+		return
+	}
+	// Forward along the reverse route.
+	r := n.validRoute(p.origin)
+	if r == nil {
+		return
+	}
+	if fr := n.routes[p.dest]; fr != nil {
+		fr.precursors[r.nextHop] = true
+	}
+	p.hops++
+	p.src = n.id
+	n.sim.unicast(n.id, r.nextHop, p)
+}
+
+// linkBroken reacts to a failed transmission to neighbor nb: invalidate
+// every route through nb and propagate RERR.
+func (n *aodvNode) linkBroken(nb int, flow int) {
+	var lost []unreachableDest
+	for dest, r := range n.routes {
+		if r.valid && r.nextHop == nb {
+			r.valid = false
+			r.destSeq++ // RFC: increment seq of unreachable destinations
+			lost = append(lost, unreachableDest{dest: dest, destSeq: r.destSeq})
+		}
+	}
+	if len(lost) == 0 {
+		return
+	}
+	n.broadcastRERR(lost, flow)
+}
+
+// sendRERR reports a single unreachable destination (no-route forwarding
+// failure).
+func (n *aodvNode) sendRERR(dest int, flow int) {
+	r := n.route(dest)
+	r.destSeq++
+	n.broadcastRERR([]unreachableDest{{dest: dest, destSeq: r.destSeq}}, flow)
+}
+
+func (n *aodvNode) broadcastRERR(lost []unreachableDest, flow int) {
+	n.sim.broadcast(n.id, packet{
+		kind:        pktRERR,
+		flow:        flow,
+		ttl:         1, // RERRs travel hop by hop via precursor re-broadcast
+		unreachable: lost,
+	})
+}
+
+// handleRERR invalidates routes that used the transmitter as next hop for
+// the listed destinations and propagates when it had precursors.
+func (n *aodvNode) handleRERR(p packet) {
+	var propagate []unreachableDest
+	for _, u := range p.unreachable {
+		r, ok := n.routes[u.dest]
+		if !ok || !r.valid || r.nextHop != p.src {
+			continue
+		}
+		if seqNewer(r.destSeq, u.destSeq) {
+			continue
+		}
+		r.valid = false
+		r.destSeq = u.destSeq
+		propagate = append(propagate, u)
+	}
+	if len(propagate) > 0 {
+		n.broadcastRERR(propagate, p.flow)
+	}
+}
+
+// handleHello refreshes the neighbor route on hello reception.
+func (n *aodvNode) handleHello(p packet) {
+	n.updateRoute(p.src, p.src, 1, p.originSeq, true)
+}
+
+// receive dispatches a delivered packet.
+func (n *aodvNode) receive(p packet) {
+	switch p.kind {
+	case pktData:
+		n.sendData(p) // forwards or delivers
+	case pktRREQ:
+		n.handleRREQ(p)
+	case pktRREP:
+		n.handleRREP(p)
+	case pktRERR:
+		n.handleRERR(p)
+	case pktHello:
+		n.handleHello(p)
+	}
+}

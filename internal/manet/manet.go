@@ -1,0 +1,277 @@
+package manet
+
+import (
+	"fmt"
+
+	"geosocial/internal/rng"
+	"geosocial/internal/sim"
+)
+
+// Config parameterizes a MANET simulation run. The defaults mirror the
+// paper's §6.2 setup.
+type Config struct {
+	// Nodes is the node count (paper: 200).
+	Nodes int
+	// RangeKm is the radio range (paper: 1 km).
+	RangeKm float64
+	// Flows is the number of CBR source/destination pairs (paper: 100).
+	Flows int
+	// RatePps is the CBR packet rate per flow in packets/second.
+	RatePps float64
+	// Duration is the simulated time in seconds.
+	Duration float64
+	// HopDelay is the per-hop transmission latency in seconds.
+	HopDelay float64
+	// NeighborUpdate is the connectivity refresh period in seconds.
+	NeighborUpdate float64
+	// Hello enables periodic hello beacons (ns-2 default uses link-layer
+	// feedback instead; both are supported).
+	Hello         bool
+	HelloInterval float64
+	// FullFloodRREQ disables the expanding-ring search and floods every
+	// RREQ at full network diameter — the ablation for the discovery
+	// strategy's overhead contribution.
+	FullFloodRREQ bool
+}
+
+// DefaultConfig returns the paper's topology with a 1-hour run.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          200,
+		RangeKm:        1,
+		Flows:          100,
+		RatePps:        1,
+		Duration:       3600,
+		HopDelay:       0.002,
+		NeighborUpdate: 1,
+		Hello:          false,
+		HelloInterval:  1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("manet: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.RangeKm <= 0 {
+		return fmt.Errorf("manet: RangeKm must be positive, got %g", c.RangeKm)
+	}
+	if c.Flows < 1 {
+		return fmt.Errorf("manet: need at least 1 flow, got %d", c.Flows)
+	}
+	if c.RatePps <= 0 || c.Duration <= 0 || c.HopDelay < 0 || c.NeighborUpdate <= 0 {
+		return fmt.Errorf("manet: invalid timing parameters %+v", c)
+	}
+	return nil
+}
+
+// Flow is one CBR source/destination pair.
+type Flow struct {
+	Src, Dst int
+}
+
+// Simulator wires mobility, radio, AODV nodes and CBR traffic through the
+// discrete-event engine.
+type Simulator struct {
+	cfg     Config
+	eng     *sim.Engine
+	mob     Mobility
+	nt      *neighborTable
+	nodes   []*aodvNode
+	flows   []Flow
+	flowIdx map[[2]int]int
+	metrics *Metrics
+	rng     *rng.Stream
+}
+
+// NewSimulator builds a simulator over the mobility source. Flows are
+// chosen as distinct random ordered pairs using the stream.
+func NewSimulator(cfg Config, mob Mobility, s *rng.Stream) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mob.Nodes() < cfg.Nodes {
+		return nil, fmt.Errorf("manet: mobility supplies %d nodes, config wants %d", mob.Nodes(), cfg.Nodes)
+	}
+	sm := &Simulator{
+		cfg:     cfg,
+		eng:     &sim.Engine{},
+		mob:     mob,
+		nt:      newNeighborTable(cfg.Nodes, cfg.RangeKm),
+		flowIdx: make(map[[2]int]int),
+		rng:     s,
+	}
+	sm.nodes = make([]*aodvNode, cfg.Nodes)
+	for i := range sm.nodes {
+		sm.nodes[i] = newAODVNode(i, sm)
+	}
+	for len(sm.flows) < cfg.Flows {
+		src := s.Intn(cfg.Nodes)
+		dst := s.Intn(cfg.Nodes)
+		if src == dst {
+			continue
+		}
+		key := [2]int{src, dst}
+		if _, dup := sm.flowIdx[key]; dup {
+			continue
+		}
+		sm.flowIdx[key] = len(sm.flows)
+		sm.flows = append(sm.flows, Flow{Src: src, Dst: dst})
+	}
+	sm.metrics = newMetrics(cfg.Flows)
+	return sm, nil
+}
+
+// Flows returns the CBR pairs.
+func (sm *Simulator) Flows() []Flow { return append([]Flow(nil), sm.flows...) }
+
+// flowOf maps an ordered (src, dst) pair to its flow index, or -1.
+func (sm *Simulator) flowOf(src, dst int) int {
+	if i, ok := sm.flowIdx[[2]int{src, dst}]; ok {
+		return i
+	}
+	return -1
+}
+
+// Run executes the simulation and returns the collected metrics.
+func (sm *Simulator) Run() (*Metrics, error) {
+	cfg := sm.cfg
+	// Initial connectivity and periodic refresh.
+	sm.nt.update(sm.mob, 0)
+	var refresh func()
+	refresh = func() {
+		sm.nt.update(sm.mob, sm.eng.Now())
+		sm.sampleRoutes()
+		if sm.eng.Now()+cfg.NeighborUpdate <= cfg.Duration {
+			sm.eng.After(cfg.NeighborUpdate, refresh)
+		}
+	}
+	sm.eng.After(cfg.NeighborUpdate, refresh)
+
+	// CBR traffic with random phase per flow.
+	for fi, f := range sm.flows {
+		period := 1 / cfg.RatePps
+		phase := sm.rng.Float64() * period
+		fi, f := fi, f
+		var tick func()
+		seq := 0
+		tick = func() {
+			seq++
+			sm.metrics.flow[fi].dataSent++
+			sm.nodes[f.Src].sendData(packet{
+				kind:   pktData,
+				flow:   fi,
+				seq:    seq,
+				origin: f.Src,
+				dest:   f.Dst,
+				ttl:    netDiameter,
+			})
+			if sm.eng.Now()+period <= cfg.Duration {
+				sm.eng.After(period, tick)
+			}
+		}
+		sm.eng.After(phase, tick)
+	}
+
+	// Optional hello beacons.
+	if cfg.Hello {
+		for _, n := range sm.nodes {
+			n := n
+			var hello func()
+			hello = func() {
+				n.seqNo++
+				sm.broadcast(n.id, packet{kind: pktHello, flow: -1, originSeq: n.seqNo, ttl: 1})
+				if sm.eng.Now()+cfg.HelloInterval <= cfg.Duration {
+					sm.eng.After(cfg.HelloInterval, hello)
+				}
+			}
+			sm.eng.After(sm.rng.Float64()*cfg.HelloInterval, hello)
+		}
+	}
+
+	sm.eng.RunUntil(cfg.Duration)
+	sm.metrics.finish(cfg)
+	return sm.metrics, nil
+}
+
+// broadcast delivers p to every current neighbor of src after HopDelay.
+// Each broadcast counts as one transmission for overhead accounting.
+func (sm *Simulator) broadcast(src int, p packet) {
+	sm.metrics.countControl(p)
+	p.src = src
+	nbs := sm.nt.neighbors(src)
+	if len(nbs) == 0 {
+		return
+	}
+	targets := append([]int(nil), nbs...)
+	sm.eng.After(sm.cfg.HopDelay, func() {
+		for _, nb := range targets {
+			sm.nodes[nb].receive(p)
+		}
+	})
+}
+
+// unicast delivers p to nb after HopDelay when the link still exists at
+// delivery time; a vanished link triggers the sender's link-failure
+// handling (ns-2 link-layer feedback).
+func (sm *Simulator) unicast(src, nb int, p packet) {
+	if p.kind != pktData {
+		sm.metrics.countControl(p)
+	} else {
+		sm.metrics.flow[p.flow].dataTx++
+	}
+	p.src = src
+	sm.eng.After(sm.cfg.HopDelay, func() {
+		if !sm.nt.connected(src, nb) {
+			sm.metrics.linkBreaks++
+			sm.nodes[src].linkBroken(nb, p.flow)
+			if p.kind == pktData {
+				sm.metrics.dropLinkBreak++
+				// The source will rediscover on subsequent packets.
+			}
+			return
+		}
+		sm.nodes[nb].receive(p)
+	})
+}
+
+// deliverData records an end-to-end data delivery.
+func (sm *Simulator) deliverData(p packet) {
+	if p.flow >= 0 {
+		fm := sm.metrics.flow[p.flow]
+		fm.dataDelivered++
+		fm.hopSum += p.hops
+	}
+}
+
+// sampleRoutes snapshots per-flow route state once per neighbor update:
+// availability (valid route at the source), graph-level reachability, and
+// route-change detection (next-hop transitions at the source).
+func (sm *Simulator) sampleRoutes() {
+	for fi, f := range sm.flows {
+		fm := sm.metrics.flow[fi]
+		fm.samples++
+		if sm.nt.pathExists(f.Src, f.Dst) {
+			fm.reachableSamples++
+		}
+		r := sm.nodes[f.Src].validRoute(f.Dst)
+		if r != nil {
+			fm.availableSamples++
+			if fm.lastHopValid && fm.lastHop != r.nextHop {
+				fm.routeChanges++
+			}
+			fm.lastHop = r.nextHop
+			fm.lastHopValid = true
+		} else if fm.lastHopValid {
+			fm.lastHopValid = false
+			// A break followed by a new route counts as one change when
+			// the new route appears.
+			fm.pendingChange = true
+		}
+		if r != nil && fm.pendingChange {
+			fm.routeChanges++
+			fm.pendingChange = false
+		}
+	}
+}

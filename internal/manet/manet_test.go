@@ -1,0 +1,285 @@
+package manet
+
+import (
+	"math"
+	"testing"
+
+	"geosocial/internal/rng"
+)
+
+// lineConfig returns a config sized for an n-node static chain.
+func lineConfig(n int) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = n
+	cfg.Flows = 1
+	cfg.Duration = 60
+	cfg.RatePps = 1
+	return cfg
+}
+
+// newLineSim builds a simulator over an n-node chain with one flow from
+// node 0 to node n-1.
+func newLineSim(t *testing.T, n int, spacing float64) *Simulator {
+	t.Helper()
+	cfg := lineConfig(n)
+	mob := NewLine(n, spacing)
+	sm, err := NewSimulator(cfg, mob, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the single flow to span the chain.
+	sm.flows = []Flow{{Src: 0, Dst: n - 1}}
+	sm.flowIdx = map[[2]int]int{{0, n - 1}: 0}
+	return sm
+}
+
+func TestLineDelivery(t *testing.T) {
+	// 5 nodes 0.8 km apart (range 1 km): 4-hop chain, all packets must
+	// route end to end.
+	sm := newLineSim(t, 5, 0.8)
+	m, err := sm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DataSent == 0 {
+		t.Fatal("no data sent")
+	}
+	if m.DeliveryRatio < 0.95 {
+		t.Fatalf("delivery ratio %.2f on a static chain, want ~1 (%v)", m.DeliveryRatio, m)
+	}
+	if m.AvgHops < 3.9 || m.AvgHops > 4.1 {
+		t.Fatalf("avg hops %.2f, want 4", m.AvgHops)
+	}
+	if m.Availability[0] < 0.9 {
+		t.Fatalf("availability %.2f on static chain", m.Availability[0])
+	}
+	if m.RouteChangesPerMin[0] != 0 {
+		t.Fatalf("route changes %.2f on static chain, want 0", m.RouteChangesPerMin[0])
+	}
+}
+
+func TestPartitionedNoDelivery(t *testing.T) {
+	// Two nodes 5 km apart with 1 km range: nothing can be delivered,
+	// and discovery gives up after the retry budget.
+	cfg := lineConfig(2)
+	mob := NewLine(2, 5)
+	sm, err := NewSimulator(cfg, mob, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.flows = []Flow{{Src: 0, Dst: 1}}
+	sm.flowIdx = map[[2]int]int{{0, 1}: 0}
+	m, err := sm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DataDelivered != 0 {
+		t.Fatalf("delivered %d packets across a partition", m.DataDelivered)
+	}
+	if m.Availability[0] != 0 {
+		t.Fatalf("availability %.2f across a partition", m.Availability[0])
+	}
+	if m.Reachability[0] != 0 {
+		t.Fatalf("reachability %.2f across a partition", m.Reachability[0])
+	}
+}
+
+func TestSingleHop(t *testing.T) {
+	sm := newLineSim(t, 2, 0.5)
+	m, err := sm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeliveryRatio < 0.95 {
+		t.Fatalf("single-hop delivery %.2f", m.DeliveryRatio)
+	}
+	if m.AvgHops != 1 {
+		t.Fatalf("avg hops %.2f, want 1", m.AvgHops)
+	}
+	// One discovery should suffice: overhead must be far below 1
+	// control packet per data packet.
+	if m.Overhead[0] > 0.5 {
+		t.Fatalf("single-hop overhead %.2f", m.Overhead[0])
+	}
+}
+
+func TestExpandingRingLimitsFlood(t *testing.T) {
+	// A 10-node chain with the destination 2 hops away: expanding ring
+	// should find it with TTL 2 and never flood the full chain.
+	cfg := lineConfig(10)
+	mob := NewLine(10, 0.8)
+	sm, err := NewSimulator(cfg, mob, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.flows = []Flow{{Src: 0, Dst: 2}}
+	sm.flowIdx = map[[2]int]int{{0, 2}: 0}
+	m, err := sm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeliveryRatio < 0.95 {
+		t.Fatalf("delivery %.2f", m.DeliveryRatio)
+	}
+	// RREQ transmissions: initial broadcast reaches node 1, node 1
+	// rebroadcasts, node 2 replies. A full flood would involve ~10
+	// transmissions; the expanding ring needs only a handful (plus the
+	// RREP unicasts).
+	if m.ControlPackets > 8 {
+		t.Fatalf("control packets %d, expanding ring should need <= 8", m.ControlPackets)
+	}
+}
+
+func TestMobileLinkBreakRecovery(t *testing.T) {
+	// Node 1 relays between 0 and 2, then walks out of range at t=30;
+	// node 3 sits where it can take over. The flow must recover via a
+	// route change instead of dying.
+	mob := &scriptedMobility{}
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Flows = 1
+	cfg.Duration = 60
+	sm, err := NewSimulator(cfg, mob, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.flows = []Flow{{Src: 0, Dst: 2}}
+	sm.flowIdx = map[[2]int]int{{0, 2}: 0}
+	m, err := sm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeliveryRatio < 0.80 {
+		t.Fatalf("delivery %.2f after relay handoff (%v)", m.DeliveryRatio, m)
+	}
+	if m.linkBreaks == 0 {
+		t.Fatal("expected at least one link break")
+	}
+	if m.RouteChangesPerMin[0] == 0 {
+		t.Fatal("expected a route change after relay handoff")
+	}
+}
+
+// scriptedMobility: nodes 0 and 2 fixed 1.6 km apart; node 1 relays
+// between them until t=30 then leaves; node 3 is a permanent alternate
+// relay slightly off axis.
+type scriptedMobility struct{}
+
+func (s *scriptedMobility) Nodes() int { return 4 }
+func (s *scriptedMobility) Position(n int, t float64) (float64, float64) {
+	switch n {
+	case 0:
+		return 0, 0
+	case 2:
+		return 1.6, 0
+	case 1:
+		if t < 30 {
+			return 0.8, 0
+		}
+		return 0.8, 50 // gone
+	default: // node 3
+		return 0.8, 0.3
+	}
+}
+
+func TestFlowSelectionDistinct(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 30
+	cfg.Flows = 20
+	cfg.Duration = 1
+	mob := NewLine(30, 0.5)
+	sm, err := NewSimulator(cfg, mob, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for _, f := range sm.Flows() {
+		if f.Src == f.Dst {
+			t.Fatalf("self flow %v", f)
+		}
+		key := [2]int{f.Src, f.Dst}
+		if seen[key] {
+			t.Fatalf("duplicate flow %v", f)
+		}
+		seen[key] = true
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1, RangeKm: 1, Flows: 1, RatePps: 1, Duration: 1, NeighborUpdate: 1},
+		{Nodes: 5, RangeKm: 0, Flows: 1, RatePps: 1, Duration: 1, NeighborUpdate: 1},
+		{Nodes: 5, RangeKm: 1, Flows: 0, RatePps: 1, Duration: 1, NeighborUpdate: 1},
+		{Nodes: 5, RangeKm: 1, Flows: 1, RatePps: 0, Duration: 1, NeighborUpdate: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestNeighborTableMatchesBruteForce(t *testing.T) {
+	st := rng.New(6)
+	n := 60
+	mob := &StaticMobility{X: make([]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		mob.X[i] = st.Range(0, 10)
+		mob.Y[i] = st.Range(0, 10)
+	}
+	nt := newNeighborTable(n, 1.5)
+	nt.update(mob, 0)
+	for i := 0; i < n; i++ {
+		want := map[int]bool{}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := mob.X[i] - mob.X[j]
+			dy := mob.Y[i] - mob.Y[j]
+			if math.Hypot(dx, dy) <= 1.5 {
+				want[j] = true
+			}
+		}
+		got := nt.neighbors(i)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d neighbors, want %d", i, len(got), len(want))
+		}
+		for _, nb := range got {
+			if !want[nb] {
+				t.Fatalf("node %d: unexpected neighbor %d", i, nb)
+			}
+		}
+	}
+}
+
+func TestPathExists(t *testing.T) {
+	// Chain 0-1-2 plus isolated 3.
+	mob := &StaticMobility{X: []float64{0, 0.8, 1.6, 50}, Y: []float64{0, 0, 0, 0}}
+	nt := newNeighborTable(4, 1)
+	nt.update(mob, 0)
+	if !nt.pathExists(0, 2) {
+		t.Error("0-2 path missing")
+	}
+	if nt.pathExists(0, 3) {
+		t.Error("path to isolated node")
+	}
+	if !nt.pathExists(1, 1) {
+		t.Error("self path missing")
+	}
+}
+
+func TestSeqNewerWraparound(t *testing.T) {
+	if !seqNewer(2, 1) {
+		t.Error("2 not newer than 1")
+	}
+	if seqNewer(1, 2) {
+		t.Error("1 newer than 2")
+	}
+	if !seqNewer(0, ^uint32(0)) {
+		t.Error("wraparound: 0 not newer than max")
+	}
+}

@@ -1,0 +1,119 @@
+package manet
+
+import "fmt"
+
+// flowMetrics accumulates per-flow counters during the run.
+type flowMetrics struct {
+	dataSent         int
+	dataTx           int // per-hop data transmissions
+	dataDelivered    int
+	hopSum           int
+	controlTx        int // RREQ/RREP/RERR transmissions attributed to the flow
+	routeChanges     int
+	samples          int
+	availableSamples int
+	reachableSamples int
+	lastHop          int
+	lastHopValid     bool
+	pendingChange    bool
+}
+
+// Metrics is the result of one simulation run: the three per-flow series
+// the paper plots in Figure 8 plus global accounting.
+type Metrics struct {
+	flow []*flowMetrics
+
+	// RouteChangesPerMin is Figure 8(a)'s sample: per-flow route changes
+	// per simulated minute.
+	RouteChangesPerMin []float64
+	// Availability is Figure 8(b)'s sample: per-flow fraction of time a
+	// valid route existed at the source.
+	Availability []float64
+	// Overhead is Figure 8(c)'s sample: per-flow routing (control)
+	// packets per delivered data packet.
+	Overhead []float64
+	// Reachability is the graph-level path-existence fraction per flow
+	// (ground truth upper bound on availability).
+	Reachability []float64
+
+	// Global counters.
+	DataSent            int
+	DataDelivered       int
+	ControlPackets      int
+	UnattributedControl int
+	AvgHops             float64
+	DeliveryRatio       float64
+
+	linkBreaks      int
+	dropTTL         int
+	dropNoRoute     int
+	dropQueueFull   int
+	dropUnreachable int
+	dropLinkBreak   int
+}
+
+func newMetrics(flows int) *Metrics {
+	m := &Metrics{flow: make([]*flowMetrics, flows)}
+	for i := range m.flow {
+		m.flow[i] = &flowMetrics{}
+	}
+	return m
+}
+
+// countControl attributes one control-packet transmission.
+func (m *Metrics) countControl(p packet) {
+	if p.kind == pktData {
+		return
+	}
+	m.ControlPackets++
+	if p.flow >= 0 && p.flow < len(m.flow) {
+		m.flow[p.flow].controlTx++
+	} else {
+		m.UnattributedControl++
+	}
+}
+
+// finish derives the per-flow series and global summaries.
+func (m *Metrics) finish(cfg Config) {
+	minutes := cfg.Duration / 60
+	var hops, delivered int
+	for _, f := range m.flow {
+		m.DataSent += f.dataSent
+		m.DataDelivered += f.dataDelivered
+		hops += f.hopSum
+		delivered += f.dataDelivered
+
+		rc := 0.0
+		if minutes > 0 {
+			rc = float64(f.routeChanges) / minutes
+		}
+		m.RouteChangesPerMin = append(m.RouteChangesPerMin, rc)
+
+		avail := 0.0
+		reach := 0.0
+		if f.samples > 0 {
+			avail = float64(f.availableSamples) / float64(f.samples)
+			reach = float64(f.reachableSamples) / float64(f.samples)
+		}
+		m.Availability = append(m.Availability, avail)
+		m.Reachability = append(m.Reachability, reach)
+
+		den := f.dataDelivered
+		if den == 0 {
+			den = 1
+		}
+		m.Overhead = append(m.Overhead, float64(f.controlTx)/float64(den))
+	}
+	if delivered > 0 {
+		m.AvgHops = float64(hops) / float64(delivered)
+	}
+	if m.DataSent > 0 {
+		m.DeliveryRatio = float64(m.DataDelivered) / float64(m.DataSent)
+	}
+}
+
+// String implements fmt.Stringer with a run summary.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("manet: sent=%d delivered=%d (%.1f%%) control=%d avgHops=%.2f breaks=%d",
+		m.DataSent, m.DataDelivered, 100*m.DeliveryRatio, m.ControlPackets, m.AvgHops, m.linkBreaks)
+}

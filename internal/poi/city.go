@@ -1,0 +1,135 @@
+package poi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/rng"
+)
+
+// CityConfig parameterizes the synthetic city generator.
+type CityConfig struct {
+	// Center is the city center coordinate.
+	Center geo.LatLon
+	// RadiusMeters bounds POI placement around the center.
+	RadiusMeters float64
+	// POICount is the total number of POIs to place.
+	POICount int
+	// ClusterCount is the number of density clusters (downtown, malls,
+	// campus, …). POIs concentrate around cluster centers.
+	ClusterCount int
+	// ClusterSigma is the Gaussian spread of POIs around their cluster
+	// center, in meters.
+	ClusterSigma float64
+	// ZipfExponent shapes POI popularity (visit attractiveness); 1.0
+	// gives classic Zipf. Must be >= 0.
+	ZipfExponent float64
+}
+
+// DefaultCityConfig returns the configuration used by the Primary dataset:
+// a Santa Barbara–sized city, ~1200 venues in 12 clusters.
+func DefaultCityConfig() CityConfig {
+	return CityConfig{
+		Center:       geo.LatLon{Lat: 34.4208, Lon: -119.6982},
+		RadiusMeters: 15000,
+		POICount:     1200,
+		ClusterCount: 12,
+		ClusterSigma: 700,
+		ZipfExponent: 1.0,
+	}
+}
+
+// categoryMix is the fraction of venues per category in the synthetic
+// city. Food/Shop/Professional dominate, as in real Foursquare venue
+// databases; Residence is substantial because home locations are venues
+// too.
+var categoryMix = map[Category]float64{
+	Food:         0.22,
+	Shop:         0.18,
+	Professional: 0.16,
+	Residence:    0.14,
+	Travel:       0.07,
+	Nightlife:    0.07,
+	Outdoors:     0.06,
+	Arts:         0.05,
+	College:      0.05,
+}
+
+// GenerateCity builds a synthetic city POI database. Generation is
+// deterministic given the stream.
+func GenerateCity(cfg CityConfig, s *rng.Stream) (*DB, error) {
+	if cfg.POICount <= 0 {
+		return nil, fmt.Errorf("poi: POICount must be positive, got %d", cfg.POICount)
+	}
+	if cfg.ClusterCount <= 0 {
+		return nil, fmt.Errorf("poi: ClusterCount must be positive, got %d", cfg.ClusterCount)
+	}
+	if cfg.RadiusMeters <= 0 {
+		return nil, fmt.Errorf("poi: RadiusMeters must be positive, got %g", cfg.RadiusMeters)
+	}
+
+	// Place cluster centers uniformly in the disk (sqrt for area
+	// uniformity), with cluster 0 pinned at the center as "downtown".
+	centers := make([]geo.LatLon, cfg.ClusterCount)
+	centers[0] = cfg.Center
+	for i := 1; i < cfg.ClusterCount; i++ {
+		bearing := s.Range(0, 360)
+		dist := cfg.RadiusMeters * 0.9 * math.Sqrt(s.Float64())
+		centers[i] = geo.Destination(cfg.Center, bearing, dist)
+	}
+
+	// Category sampling table.
+	cats := Categories()
+	cum := make([]float64, len(cats))
+	total := 0.0
+	for i, c := range cats {
+		total += categoryMix[c]
+		cum[i] = total
+	}
+
+	pois := make([]POI, cfg.POICount)
+	for i := range pois {
+		// Downtown is denser: cluster 0 gets a triple share.
+		ci := s.Intn(cfg.ClusterCount + 2)
+		if ci >= cfg.ClusterCount {
+			ci = 0
+		}
+		loc := geo.Destination(centers[ci], s.Range(0, 360), math.Abs(s.Norm(0, cfg.ClusterSigma)))
+		// Category by mix.
+		u := s.Float64() * total
+		cat := cats[len(cats)-1]
+		for j, c := range cum {
+			if u < c {
+				cat = cats[j]
+				break
+			}
+		}
+		pois[i] = POI{
+			ID:       i,
+			Name:     fmt.Sprintf("%s #%d", cat, i),
+			Category: cat,
+			Loc:      loc,
+		}
+	}
+
+	// Popularity ranks: Zipf weights assigned with a bias toward the
+	// city center, matching real cities where the hot venues concentrate
+	// downtown. Each POI draws a score shrunk by proximity to downtown;
+	// ascending score order receives descending popularity.
+	type scored struct {
+		idx   int
+		score float64
+	}
+	sc := make([]scored, cfg.POICount)
+	for i, p := range pois {
+		d := geo.Distance(cfg.Center, p.Loc)
+		sc[i] = scored{idx: i, score: s.Float64() * (1 + d/2500)}
+	}
+	sort.Slice(sc, func(a, b int) bool { return sc[a].score < sc[b].score })
+	for rank, e := range sc {
+		pois[e.idx].Popularity = 1.0 / math.Pow(float64(rank+1), cfg.ZipfExponent)
+	}
+	return NewDB(pois)
+}

@@ -1,0 +1,341 @@
+// Package recover builds out the paper's §7 "Recovering Missing
+// Locations" open problem: filling in the visits users make but never
+// report. The paper's observation is that "even approximations of 1 or
+// more key locations (home, work) will go a long way towards improving
+// accuracy", and it sketches two approaches — up-sampling observed
+// checkins from statistical models of real mobility, and inserting
+// locations from per-category checkin-rate models. This package
+// implements both:
+//
+//   - AnchorInference estimates a user's home and work locations from her
+//     checkin trace alone (first/last checkins of the day bracket home;
+//     weekday mid-day checkins bracket work);
+//   - Upsample augments a checkin trace with recovered anchor visits on a
+//     daily schedule, producing a denser event trace;
+//   - Coverage scores a recovered trace against the GPS ground truth with
+//     the same α/β matching used by the validator.
+package recover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"geosocial/internal/core"
+	"geosocial/internal/geo"
+	"geosocial/internal/trace"
+)
+
+// Anchors are a user's inferred key locations.
+type Anchors struct {
+	Home geo.LatLon
+	// HomeSupport is the number of checkins that voted for Home.
+	HomeSupport int
+	Work        geo.LatLon
+	WorkSupport int
+}
+
+// InferAnchors estimates home and work from a checkin trace. Home: the
+// medoid of each day's first and last checkin locations (people start and
+// end their day near home). Work: the medoid of weekday 9:00–17:00
+// checkin locations. Support counts below 3 mean the estimate is weak.
+func InferAnchors(cks trace.CheckinTrace) Anchors {
+	var homeVotes, workVotes []geo.LatLon
+	// Bursty checkins (nearest same-user neighbour within 2 minutes) are
+	// overwhelmingly reward sprees at places the user never was (§5.3);
+	// excluding them keeps fake venues from dragging the anchor votes.
+	isBursty := func(i int) bool {
+		const gap = 120
+		if i > 0 && cks[i].T-cks[i-1].T <= gap {
+			return true
+		}
+		if i+1 < len(cks) && cks[i+1].T-cks[i].T <= gap {
+			return true
+		}
+		return false
+	}
+	byDay := map[int64][]int{}
+	for i, c := range cks {
+		if isBursty(i) {
+			continue
+		}
+		byDay[c.T/86400] = append(byDay[c.T/86400], i)
+	}
+	for _, idxs := range byDay {
+		first, last := idxs[0], idxs[0]
+		for _, i := range idxs {
+			if cks[i].T < cks[first].T {
+				first = i
+			}
+			if cks[i].T > cks[last].T {
+				last = i
+			}
+		}
+		homeVotes = append(homeVotes, cks[first].Loc)
+		if last != first {
+			homeVotes = append(homeVotes, cks[last].Loc)
+		}
+	}
+	for i, c := range cks {
+		if isBursty(i) {
+			continue
+		}
+		day := (c.T/86400 + 4) % 7
+		hour := (c.T % 86400) / 3600
+		if day >= 1 && day <= 5 && hour >= 9 && hour < 17 {
+			workVotes = append(workVotes, c.Loc)
+		}
+	}
+	var a Anchors
+	a.Home, a.HomeSupport = medoid(homeVotes)
+	a.Work, a.WorkSupport = medoid(workVotes)
+	return a
+}
+
+// medoid returns the vote minimizing total distance to the others — more
+// robust than a centroid when votes scatter across town (which checkin
+// traces do).
+func medoid(votes []geo.LatLon) (geo.LatLon, int) {
+	if len(votes) == 0 {
+		return geo.LatLon{}, 0
+	}
+	best := 0
+	bestSum := math.Inf(1)
+	for i := range votes {
+		sum := 0.0
+		for j := range votes {
+			sum += geo.Distance(votes[i], votes[j])
+		}
+		if sum < bestSum {
+			bestSum = sum
+			best = i
+		}
+	}
+	// Support: votes within 1 km of the medoid.
+	support := 0
+	for _, v := range votes {
+		if geo.Distance(votes[best], v) <= 1000 {
+			support++
+		}
+	}
+	return votes[best], support
+}
+
+// Event is one point of a recovered event trace: either an original
+// checkin or a synthesized anchor visit.
+type Event struct {
+	T         int64
+	Loc       geo.LatLon
+	Recovered bool // true when synthesized by Upsample
+}
+
+// UpsampleConfig tunes trace augmentation.
+type UpsampleConfig struct {
+	// MorningHour and EveningHour are the local hours at which home
+	// events are inserted each observed day.
+	MorningHour, EveningHour int
+	// WorkHours are the hours of the inserted weekday work events (the
+	// workday spans the β window several times over, so one event cannot
+	// cover it).
+	WorkHours []int
+	// MinSupport suppresses insertion from anchors with fewer supporting
+	// votes.
+	MinSupport int
+}
+
+// DefaultUpsampleConfig returns the defaults: home at 07:30 and 22:00,
+// work at 10:00 and 15:00, anchors need 3 supporting votes.
+func DefaultUpsampleConfig() UpsampleConfig {
+	return UpsampleConfig{MorningHour: 7, EveningHour: 22, WorkHours: []int{10, 15}, MinSupport: 3}
+}
+
+// Upsample augments the checkin trace with inferred home/work events on
+// every day the user produced at least one checkin. The result is
+// time-ordered.
+func Upsample(cks trace.CheckinTrace, a Anchors, cfg UpsampleConfig) []Event {
+	events := make([]Event, 0, len(cks)*2)
+	for _, c := range cks {
+		events = append(events, Event{T: c.T, Loc: c.Loc})
+	}
+	days := map[int64]bool{}
+	for _, c := range cks {
+		days[c.T/86400] = true
+	}
+	for day := range days {
+		base := day * 86400
+		if a.HomeSupport >= cfg.MinSupport {
+			events = append(events,
+				Event{T: base + int64(cfg.MorningHour)*3600 + 1800, Loc: a.Home, Recovered: true},
+				Event{T: base + int64(cfg.EveningHour)*3600, Loc: a.Home, Recovered: true},
+			)
+		}
+		dow := (day + 4) % 7
+		if dow >= 1 && dow <= 5 && a.WorkSupport >= cfg.MinSupport {
+			for _, h := range cfg.WorkHours {
+				events = append(events, Event{T: base + int64(h)*3600, Loc: a.Work, Recovered: true})
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events
+}
+
+// Coverage is the recovery evaluation: how much of the user's real
+// mobility the (augmented) event trace now captures.
+type Coverage struct {
+	// Visits is the ground-truth visit count.
+	Visits int
+	// CoveredBefore and CoveredAfter count visits matched (within
+	// alpha/beta) by the raw checkins and by the augmented trace.
+	CoveredBefore, CoveredAfter int
+	// AnchorErrorM is the distance from the inferred home to the user's
+	// true most-visited location (meters; NaN when unknown).
+	AnchorErrorM float64
+}
+
+// BeforeRatio returns the raw-checkin visit coverage.
+func (c Coverage) BeforeRatio() float64 { return ratio(c.CoveredBefore, c.Visits) }
+
+// AfterRatio returns the augmented-trace visit coverage.
+func (c Coverage) AfterRatio() float64 { return ratio(c.CoveredAfter, c.Visits) }
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// EvaluateUser measures recovery quality for one matched user outcome,
+// using the validator's α/β to decide whether an event covers a visit.
+func EvaluateUser(o core.UserOutcome, p core.Params) (Coverage, error) {
+	if err := p.Validate(); err != nil {
+		return Coverage{}, fmt.Errorf("recover: %w", err)
+	}
+	a := InferAnchors(o.User.Checkins)
+	events := Upsample(o.User.Checkins, a, DefaultUpsampleConfig())
+
+	var cov Coverage
+	cov.Visits = len(o.Visits)
+	cov.CoveredBefore = coveredVisits(o.Visits, checkinEvents(o.User.Checkins), p)
+	cov.CoveredAfter = coveredVisits(o.Visits, events, p)
+	cov.AnchorErrorM = anchorError(o, a)
+	return cov, nil
+}
+
+func checkinEvents(cks trace.CheckinTrace) []Event {
+	evs := make([]Event, len(cks))
+	for i, c := range cks {
+		evs[i] = Event{T: c.T, Loc: c.Loc}
+	}
+	return evs
+}
+
+// coveredVisits counts visits with at least one event within alpha meters
+// and beta interval-time.
+func coveredVisits(vs []trace.Visit, events []Event, p core.Params) int {
+	covered := 0
+	for _, v := range vs {
+		for _, e := range events {
+			if v.DeltaT(e.T) >= p.Beta {
+				continue
+			}
+			if geo.Distance(v.Loc, e.Loc) <= p.Alpha {
+				covered++
+				break
+			}
+		}
+	}
+	return covered
+}
+
+// anchorError compares the inferred home to the user's true home proxy:
+// the place with the most stay time during overnight-adjacent hours
+// (before 09:00 and after 20:00), which is where people actually live —
+// total stay time alone would pick the workplace.
+func anchorError(o core.UserOutcome, a Anchors) float64 {
+	if a.HomeSupport == 0 || len(o.Visits) == 0 {
+		return math.NaN()
+	}
+	type key struct{ lat, lon int }
+	stay := map[key]time.Duration{}
+	locOf := map[key]geo.LatLon{}
+	for _, v := range o.Visits {
+		overlap := overnightOverlap(v.Start, v.End)
+		if overlap <= 0 {
+			continue
+		}
+		k := key{int(v.Loc.Lat / 0.002), int(v.Loc.Lon / 0.002)}
+		stay[k] += overlap
+		locOf[k] = v.Loc
+	}
+	var bestK key
+	bestDur := time.Duration(-1)
+	for k, d := range stay {
+		if d > bestDur {
+			bestDur = d
+			bestK = k
+		}
+	}
+	if bestDur < 0 {
+		return math.NaN()
+	}
+	return geo.Distance(a.Home, locOf[bestK])
+}
+
+// overnightOverlap returns how much of [start, end] (Unix seconds) falls
+// before 09:00 or after 20:00 local time.
+func overnightOverlap(start, end int64) time.Duration {
+	var total int64
+	for t := start; t < end; {
+		dayBase := (t / 86400) * 86400
+		hour := (t - dayBase) / 3600
+		// Next boundary of interest.
+		next := end
+		switch {
+		case hour < 9:
+			if b := dayBase + 9*3600; b < next {
+				next = b
+			}
+			total += next - t
+		case hour >= 20:
+			if b := dayBase + 86400; b < next {
+				next = b
+			}
+			total += next - t
+		default:
+			if b := dayBase + 20*3600; b < next {
+				next = b
+			}
+		}
+		t = next
+	}
+	return time.Duration(total) * time.Second
+}
+
+// EvaluateAll pools coverage over all users.
+func EvaluateAll(outs []core.UserOutcome, p core.Params) (Coverage, error) {
+	var pooled Coverage
+	var errSum float64
+	errN := 0
+	for _, o := range outs {
+		c, err := EvaluateUser(o, p)
+		if err != nil {
+			return Coverage{}, err
+		}
+		pooled.Visits += c.Visits
+		pooled.CoveredBefore += c.CoveredBefore
+		pooled.CoveredAfter += c.CoveredAfter
+		if !math.IsNaN(c.AnchorErrorM) {
+			errSum += c.AnchorErrorM
+			errN++
+		}
+	}
+	if errN > 0 {
+		pooled.AnchorErrorM = errSum / float64(errN)
+	} else {
+		pooled.AnchorErrorM = math.NaN()
+	}
+	return pooled, nil
+}

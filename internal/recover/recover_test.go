@@ -1,0 +1,185 @@
+package recover
+
+import (
+	"math"
+	"testing"
+
+	"geosocial/internal/core"
+	"geosocial/internal/geo"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+	"geosocial/internal/trace"
+)
+
+var base = geo.LatLon{Lat: 34.4208, Lon: -119.6982}
+
+func at(dist float64) geo.LatLon { return geo.Destination(base, 90, dist) }
+
+// dayTrace builds a checkin trace with a repeating daily pattern:
+// breakfast near home, lunch near work, dinner near home, across n days.
+func dayTrace(n int, home, work geo.LatLon) trace.CheckinTrace {
+	var cks trace.CheckinTrace
+	// Day 0 is a Monday when (day+4)%7 == 1 -> day = 4 (epoch day 4).
+	start := int64(4) * 86400
+	for d := int64(0); d < int64(n); d++ {
+		b := start + d*86400
+		cks = append(cks,
+			trace.Checkin{T: b + 8*3600, Loc: geo.Destination(home, 0, 150)},
+			trace.Checkin{T: b + 12*3600, Loc: geo.Destination(work, 90, 120)},
+			trace.Checkin{T: b + 21*3600, Loc: geo.Destination(home, 180, 200)},
+		)
+	}
+	return cks
+}
+
+func TestInferAnchors(t *testing.T) {
+	home := at(0)
+	work := at(8000)
+	cks := dayTrace(7, home, work)
+	a := InferAnchors(cks)
+	if a.HomeSupport < 3 {
+		t.Fatalf("home support %d", a.HomeSupport)
+	}
+	if d := geo.Distance(a.Home, home); d > 400 {
+		t.Errorf("home inferred %.0f m off", d)
+	}
+	if a.WorkSupport < 3 {
+		t.Fatalf("work support %d", a.WorkSupport)
+	}
+	if d := geo.Distance(a.Work, work); d > 400 {
+		t.Errorf("work inferred %.0f m off", d)
+	}
+}
+
+func TestInferAnchorsEmpty(t *testing.T) {
+	a := InferAnchors(nil)
+	if a.HomeSupport != 0 || a.WorkSupport != 0 {
+		t.Fatalf("empty trace produced anchors: %+v", a)
+	}
+}
+
+func TestMedoidRobustToOutlier(t *testing.T) {
+	votes := []geo.LatLon{at(0), at(50), at(30), at(90000)}
+	m, support := medoid(votes)
+	if d := geo.Distance(m, at(0)); d > 100 {
+		t.Errorf("medoid dragged %.0f m by outlier", d)
+	}
+	if support != 3 {
+		t.Errorf("support %d, want 3", support)
+	}
+}
+
+func TestUpsampleInsertsAnchors(t *testing.T) {
+	home := at(0)
+	work := at(8000)
+	cks := dayTrace(5, home, work)
+	a := InferAnchors(cks)
+	events := Upsample(cks, a, DefaultUpsampleConfig())
+	if len(events) <= len(cks) {
+		t.Fatalf("no events inserted: %d <= %d", len(events), len(cks))
+	}
+	recovered := 0
+	for i, e := range events {
+		if e.Recovered {
+			recovered++
+		}
+		if i > 0 && e.T < events[i-1].T {
+			t.Fatal("events not time-ordered")
+		}
+	}
+	// 5 weekdays: 2 home + 1 work events per day.
+	if recovered != 20 {
+		t.Errorf("recovered events = %d, want 20", recovered)
+	}
+}
+
+func TestUpsampleRespectsSupport(t *testing.T) {
+	cks := trace.CheckinTrace{{T: 4 * 86400, Loc: at(0)}}
+	a := InferAnchors(cks)
+	events := Upsample(cks, a, DefaultUpsampleConfig())
+	for _, e := range events {
+		if e.Recovered {
+			t.Fatal("inserted events from a 1-checkin trace (support too low)")
+		}
+	}
+}
+
+func TestEvaluateUserImprovesCoverage(t *testing.T) {
+	// Build a user whose GPS shows daily home and work visits but whose
+	// checkins only cover lunch: recovery must lift visit coverage.
+	home := at(0)
+	work := at(8000)
+	var gps trace.GPSTrace
+	var vs []trace.Visit
+	start := int64(4) * 86400
+	for d := int64(0); d < 5; d++ {
+		b := start + d*86400
+		vs = append(vs,
+			trace.Visit{Start: b + 7*3600, End: b + 8*3600 + 1800, Loc: home, POIID: -1},
+			trace.Visit{Start: b + 9*3600, End: b + 12*3600, Loc: work, POIID: -1},
+			trace.Visit{Start: b + 13*3600, End: b + 17*3600, Loc: work, POIID: -1},
+			trace.Visit{Start: b + 21*3600, End: b + 22*3600, Loc: home, POIID: -1},
+		)
+	}
+	cks := dayTrace(5, home, work)
+	res, err := core.MatchUser(cks, vs, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.UserOutcome{
+		User:   &trace.User{GPS: gps, Checkins: cks, Days: 5},
+		Visits: vs,
+		Match:  res,
+	}
+	cov, err := EvaluateUser(o, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.AfterRatio() <= cov.BeforeRatio() {
+		t.Fatalf("recovery did not improve coverage: %.2f -> %.2f",
+			cov.BeforeRatio(), cov.AfterRatio())
+	}
+	if cov.AfterRatio() < 0.8 {
+		t.Errorf("after-recovery coverage %.2f, want >= 0.8 on this schedule", cov.AfterRatio())
+	}
+	if math.IsNaN(cov.AnchorErrorM) || cov.AnchorErrorM > 500 {
+		t.Errorf("anchor error %.0f m", cov.AnchorErrorM)
+	}
+}
+
+func TestEvaluateUserBadParams(t *testing.T) {
+	o := core.UserOutcome{User: &trace.User{}, Match: &core.Result{}}
+	if _, err := EvaluateUser(o, core.Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+}
+
+func TestEvaluateAllOnSyntheticStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := synth.PrimaryConfig().Scale(0.08)
+	ds, err := synth.Generate(cfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, part, err := core.NewValidator().ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := EvaluateAll(outs, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("coverage before=%.3f after=%.3f anchorErr=%.0fm (raw partition coverage %.3f)",
+		cov.BeforeRatio(), cov.AfterRatio(), cov.AnchorErrorM, part.CoverageRatio())
+	if cov.AfterRatio() <= cov.BeforeRatio() {
+		t.Errorf("recovery did not improve pooled coverage: %.3f -> %.3f",
+			cov.BeforeRatio(), cov.AfterRatio())
+	}
+	// The paper's hypothesis: recovering home/work alone goes "a long
+	// way". Demand at least a 1.5x coverage improvement.
+	if cov.AfterRatio() < 1.10*cov.BeforeRatio() {
+		t.Errorf("recovery gain %.2fx below 1.10x", cov.AfterRatio()/cov.BeforeRatio())
+	}
+}

@@ -1,0 +1,122 @@
+// Package sim is a minimal discrete-event simulation kernel: a time-
+// ordered event queue with deterministic FIFO tie-breaking and a clock.
+// The MANET simulator in internal/manet schedules protocol timers, packet
+// deliveries and mobility updates through it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	time float64
+	seq  uint64
+	fn   func()
+	// canceled events stay in the heap but are skipped on pop.
+	canceled bool
+}
+
+// Time returns the event's scheduled time.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event has fired (no-op).
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation clock and event queue. The zero value is ready
+// to use.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events still queued (including canceled
+// ones not yet skipped).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// is always a logic error in a discrete-event simulation.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %.6f before now %.6f", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Step fires the next pending event. It returns false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the queue drains or the next event
+// lies beyond t; the clock ends at min(t, last event time fired) or t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.time > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Run drains the queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function built from a
+// sample. The zero value is an empty CDF (Eval returns 0 everywhere).
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Eval returns P(X <= x) under the empirical distribution.
+func (c *CDF) Eval(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the sample (inverse CDF with linear
+// interpolation). NaN for an empty CDF.
+func (c *CDF) Quantile(q float64) float64 {
+	return quantileSorted(c.sorted, q)
+}
+
+// Min returns the smallest sample value (NaN when empty).
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample value (NaN when empty).
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Points returns the CDF evaluated at the given xs, as percentages in
+// [0, 100] — the paper plots all CDFs on a percent axis.
+func (c *CDF) Points(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = 100 * c.Eval(x)
+	}
+	return out
+}
+
+// KS returns the two-sample Kolmogorov–Smirnov statistic between c and
+// other: the supremum over x of |F1(x) - F2(x)|.
+func (c *CDF) KS(other *CDF) float64 {
+	if c.N() == 0 || other.N() == 0 {
+		return math.NaN()
+	}
+	max := 0.0
+	for _, x := range c.sorted {
+		d := math.Abs(c.Eval(x) - other.Eval(x))
+		if d > max {
+			max = d
+		}
+	}
+	for _, x := range other.sorted {
+		d := math.Abs(c.Eval(x) - other.Eval(x))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// LinSpace returns n evenly spaced values from lo to hi inclusive.
+// It panics if n < 2.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: LinSpace requires n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// LogSpace returns n logarithmically spaced values from lo to hi
+// inclusive. It panics if n < 2 or lo/hi are not positive.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: LogSpace requires n >= 2")
+	}
+	if lo <= 0 || hi <= 0 {
+		panic("stats: LogSpace requires positive bounds")
+	}
+	out := make([]float64, n)
+	llo := math.Log(lo)
+	lhi := math.Log(hi)
+	step := (lhi - llo) / float64(n-1)
+	for i := range out {
+		out[i] = math.Exp(llo + float64(i)*step)
+	}
+	out[n-1] = hi
+	return out
+}

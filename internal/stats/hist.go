@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a binned density estimate. Bins are defined by their edges
+// (len(Edges) == len(Counts)+1); values outside [Edges[0], Edges[last])
+// are dropped and tallied in Outside.
+type Histogram struct {
+	Edges   []float64
+	Counts  []int
+	Outside int
+	total   int
+}
+
+// NewLinearHistogram builds a histogram with n equal-width bins over
+// [lo, hi). It panics if n <= 0 or hi <= lo.
+func NewLinearHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid linear histogram parameters")
+	}
+	return &Histogram{Edges: LinSpace(lo, hi, n+1), Counts: make([]int, n)}
+}
+
+// NewLogHistogram builds a histogram with n log-width bins over [lo, hi).
+// It panics if n <= 0 or bounds are not positive/increasing. Log-binned
+// PDFs are how the paper plots movement-distance and pause-time densities
+// (Figure 7).
+func NewLogHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || lo <= 0 || hi <= lo {
+		panic("stats: invalid log histogram parameters")
+	}
+	return &Histogram{Edges: LogSpace(lo, hi, n+1), Counts: make([]int, n)}
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	i := h.binOf(x)
+	if i < 0 {
+		h.Outside++
+		return
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// AddAll tallies every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+func (h *Histogram) binOf(x float64) int {
+	n := len(h.Counts)
+	if x < h.Edges[0] || x >= h.Edges[n] || math.IsNaN(x) {
+		return -1
+	}
+	// Binary search over edges.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if x >= h.Edges[mid] {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// N returns the number of in-range observations.
+func (h *Histogram) N() int { return h.total }
+
+// Centers returns the geometric (for log bins the arithmetic mean of edges
+// still overweights the right edge, so use the geometric mean when both
+// edges are positive) centers of the bins.
+func (h *Histogram) Centers() []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range out {
+		a, b := h.Edges[i], h.Edges[i+1]
+		if a > 0 && b > 0 {
+			out[i] = math.Sqrt(a * b)
+		} else {
+			out[i] = (a + b) / 2
+		}
+	}
+	return out
+}
+
+// PDF returns the density estimate per bin: count / (N * width). Empty
+// histograms yield all zeros.
+func (h *Histogram) PDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		w := h.Edges[i+1] - h.Edges[i]
+		out[i] = float64(c) / (float64(h.total) * w)
+	}
+	return out
+}
+
+// Fractions returns the fraction of in-range observations per bin (sums to
+// 1 for a non-empty histogram).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.total)
+	}
+	return out
+}
+
+// CategoryHistogram tallies observations over a fixed set of string
+// categories — Figure 4's "missing checkins by POI category" breakdown.
+type CategoryHistogram struct {
+	order  []string
+	counts map[string]int
+	total  int
+}
+
+// NewCategoryHistogram builds a histogram over the given categories in
+// display order. Observations of unknown categories return an error.
+func NewCategoryHistogram(categories []string) *CategoryHistogram {
+	c := &CategoryHistogram{
+		order:  append([]string(nil), categories...),
+		counts: make(map[string]int, len(categories)),
+	}
+	for _, k := range categories {
+		c.counts[k] = 0
+	}
+	return c
+}
+
+// Add tallies one observation of category k.
+func (c *CategoryHistogram) Add(k string) error {
+	if _, ok := c.counts[k]; !ok {
+		return fmt.Errorf("stats: unknown category %q", k)
+	}
+	c.counts[k]++
+	c.total++
+	return nil
+}
+
+// N returns the number of observations.
+func (c *CategoryHistogram) N() int { return c.total }
+
+// Count returns the tally for category k.
+func (c *CategoryHistogram) Count(k string) int { return c.counts[k] }
+
+// Categories returns the categories in display order.
+func (c *CategoryHistogram) Categories() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Percentages returns, in display order, each category's share of the
+// total as a percentage (all zeros when empty).
+func (c *CategoryHistogram) Percentages() []float64 {
+	out := make([]float64, len(c.order))
+	if c.total == 0 {
+		return out
+	}
+	for i, k := range c.order {
+		out[i] = 100 * float64(c.counts[k]) / float64(c.total)
+	}
+	return out
+}

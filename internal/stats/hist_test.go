@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearHistogram(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 5)
+	h.AddAll([]float64{0, 1, 2.5, 5, 9.99, 10, -1, math.NaN()})
+	if h.N() != 5 {
+		t.Fatalf("N = %d, want 5", h.N())
+	}
+	if h.Outside != 3 {
+		t.Fatalf("Outside = %d, want 3", h.Outside)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+}
+
+func TestHistogramPDFNormalizes(t *testing.T) {
+	h := NewLinearHistogram(0, 1, 10)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%1000) / 1000)
+	}
+	pdf := h.PDF()
+	integral := 0.0
+	for i, d := range pdf {
+		integral += d * (h.Edges[i+1] - h.Edges[i])
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("PDF integral = %g", integral)
+	}
+}
+
+func TestHistogramFractionsSum(t *testing.T) {
+	h := NewLogHistogram(0.1, 1000, 8)
+	h.AddAll([]float64{0.5, 1, 2, 50, 999})
+	total := 0.0
+	for _, f := range h.Fractions() {
+		total += f
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("fractions sum = %g", total)
+	}
+}
+
+func TestLogHistogramBinning(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3) // bins [1,10), [10,100), [100,1000)
+	h.AddAll([]float64{1, 9.99, 10, 99, 100, 999, 1000, 0.5})
+	want := []int{2, 2, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Outside != 2 {
+		t.Fatalf("Outside = %d, want 2", h.Outside)
+	}
+}
+
+func TestLogHistogramCenters(t *testing.T) {
+	h := NewLogHistogram(1, 100, 2) // [1,10), [10,100)
+	c := h.Centers()
+	if math.Abs(c[0]-math.Sqrt(10)) > 1e-9 {
+		t.Fatalf("center[0] = %g, want sqrt(10)", c[0])
+	}
+	if math.Abs(c[1]-math.Sqrt(1000)) > 1e-9 {
+		t.Fatalf("center[1] = %g, want sqrt(1000)", c[1])
+	}
+}
+
+func TestHistogramEmptyPDF(t *testing.T) {
+	h := NewLinearHistogram(0, 1, 4)
+	for _, v := range h.PDF() {
+		if v != 0 {
+			t.Fatal("empty PDF not all zero")
+		}
+	}
+	for _, v := range h.Fractions() {
+		if v != 0 {
+			t.Fatal("empty fractions not all zero")
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"linear n=0":    func() { NewLinearHistogram(0, 1, 0) },
+		"linear hi<=lo": func() { NewLinearHistogram(1, 1, 3) },
+		"log lo<=0":     func() { NewLogHistogram(0, 1, 3) },
+		"log hi<=lo":    func() { NewLogHistogram(2, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCategoryHistogram(t *testing.T) {
+	c := NewCategoryHistogram([]string{"Food", "Shop", "Arts"})
+	for _, k := range []string{"Food", "Food", "Shop", "Arts"} {
+		if err := c.Add(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Add("Nope"); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.Count("Food") != 2 {
+		t.Fatalf("Count(Food) = %d", c.Count("Food"))
+	}
+	p := c.Percentages()
+	if math.Abs(p[0]-50) > 1e-12 || math.Abs(p[1]-25) > 1e-12 {
+		t.Fatalf("Percentages = %v", p)
+	}
+	cats := c.Categories()
+	if len(cats) != 3 || cats[0] != "Food" {
+		t.Fatalf("Categories = %v", cats)
+	}
+}
+
+func TestCategoryHistogramEmpty(t *testing.T) {
+	c := NewCategoryHistogram([]string{"A"})
+	if p := c.Percentages(); p[0] != 0 {
+		t.Fatalf("empty percentages = %v", p)
+	}
+}

@@ -1,0 +1,177 @@
+// Package stats is the statistics substrate for the reproduction: empirical
+// CDFs, linear and logarithmic histograms/PDFs, Pearson correlation,
+// maximum-likelihood Pareto fitting (plain and truncated), least-squares
+// power-law and exponential fits in log space, Kolmogorov–Smirnov distances
+// and summary statistics.
+//
+// The paper's analysis is entirely built from these primitives: Figures 2,
+// 3, 5, 6 and 8 are empirical CDFs; Figures 4 and 7 are (log-binned) PDFs;
+// Table 2 is Pearson correlation; Figure 7's fits are Pareto MLE and
+// log-log least squares. The calibration band "no stats tooling fit" is why
+// this package exists rather than an external dependency.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned by estimators that need more samples
+// than were provided.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Summary holds the usual scalar summaries of a sample.
+type Summary struct {
+	N             int
+	Mean, Stddev  float64
+	Min, Max      float64
+	Median        float64
+	P25, P75, P90 float64
+	Sum           float64
+}
+
+// Summarize computes summary statistics of xs. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.P75 = quantileSorted(sorted, 0.75)
+	s.P90 = quantileSorted(sorted, 0.90)
+	return s
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of xs using linear
+// interpolation between order statistics. It returns NaN for an empty
+// sample and clamps q to [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Pearson returns the Pearson product-moment correlation coefficient of
+// the paired samples xs and ys. It returns an error if the lengths differ,
+// fewer than two pairs are given, or either sample has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d != %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: Pearson undefined for zero-variance sample")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard against floating point overshoot.
+	if r > 1 {
+		r = 1
+	}
+	if r < -1 {
+		r = -1
+	}
+	return r, nil
+}
+
+// Spearman returns the Spearman rank correlation of xs and ys, i.e. the
+// Pearson correlation of their ranks with ties assigned mean ranks.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: Spearman length mismatch %d != %d", len(xs), len(ys))
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}
+
+// Ranks returns the 1-based ranks of xs with ties given their mean rank.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		mean := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mean
+		}
+		i = j + 1
+	}
+	return ranks
+}

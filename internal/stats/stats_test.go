@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geosocial/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEq(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %g", s.Mean)
+	}
+	if !almostEq(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Stddev = %g", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if !almostEq(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %g", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(empty) not NaN")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect positive r = %g", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect negative r = %g", r)
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 3, 2, 5, 4}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 0.8, 1e-12) {
+		t.Errorf("r = %g, want 0.8", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("n=1 not rejected")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance not rejected")
+	}
+}
+
+func TestPearsonProperties(t *testing.T) {
+	s := rng.New(1)
+	err := quick.Check(func(seed uint32) bool {
+		st := rng.New(uint64(seed))
+		n := 10 + st.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = st.Norm(0, 1)
+			ys[i] = st.Norm(0, 1)
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true // degenerate sample; fine
+		}
+		if r < -1 || r > 1 {
+			return false
+		}
+		// Invariance under affine transform with positive scale.
+		xs2 := make([]float64, n)
+		for i := range xs {
+			xs2[i] = 3*xs[i] + 7
+		}
+		r2, err := Pearson(xs2, ys)
+		if err != nil {
+			return false
+		}
+		// Symmetry.
+		r3, err := Pearson(ys, xs)
+		if err != nil {
+			return false
+		}
+		return almostEq(r, r2, 1e-9) && almostEq(r, r3, 1e-9)
+	}, &quick.Config{MaxCount: 50, Rand: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Errorf("Spearman of monotone = %g, want 1", r)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range tests {
+		if got := c.Eval(tc.x); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Eval(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	if c.Min() != 1 || c.Max() != 4 {
+		t.Errorf("Min/Max = %g/%g", c.Min(), c.Max())
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	st := rng.New(42)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = st.Norm(0, 10)
+	}
+	c := NewCDF(xs)
+	err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		fa, fb := c.Eval(a), c.Eval(b)
+		return fa >= 0 && fb <= 1 && fa <= fb
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.Eval(5) != 0 {
+		t.Error("empty CDF Eval != 0")
+	}
+	if !math.IsNaN(c.Quantile(0.5)) {
+		t.Error("empty CDF quantile not NaN")
+	}
+}
+
+func TestCDFPointsPercent(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points([]float64{2, 4})
+	if !almostEq(pts[0], 50, 1e-9) || !almostEq(pts[1], 100, 1e-9) {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+func TestKSIdenticalAndDisjoint(t *testing.T) {
+	a := NewCDF([]float64{1, 2, 3})
+	b := NewCDF([]float64{1, 2, 3})
+	if ks := a.KS(b); !almostEq(ks, 0, 1e-12) {
+		t.Errorf("KS identical = %g", ks)
+	}
+	cc := NewCDF([]float64{100, 200, 300})
+	if ks := a.KS(cc); !almostEq(ks, 1, 1e-12) {
+		t.Errorf("KS disjoint = %g", ks)
+	}
+}
+
+func TestLinLogSpace(t *testing.T) {
+	lin := LinSpace(0, 10, 11)
+	if len(lin) != 11 || lin[0] != 0 || lin[10] != 10 || !almostEq(lin[5], 5, 1e-12) {
+		t.Errorf("LinSpace = %v", lin)
+	}
+	lg := LogSpace(0.1, 1000, 5)
+	if len(lg) != 5 || !almostEq(lg[0], 0.1, 1e-9) || !almostEq(lg[4], 1000, 1e-9) {
+		t.Errorf("LogSpace = %v", lg)
+	}
+	if !almostEq(lg[2], 10, 1e-9) {
+		t.Errorf("LogSpace midpoint = %g, want 10", lg[2])
+	}
+}

@@ -1,0 +1,126 @@
+package synth_test
+
+// Calibration test: generates a scaled-down Primary and Baseline dataset
+// and logs/checks the headline quantities against the paper's bands.
+// Run with -v to see the readout.
+
+import (
+	"testing"
+
+	"geosocial/internal/classify"
+	"geosocial/internal/core"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+func TestCalibrationPrimary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration generation is slow")
+	}
+	cfg := synth.PrimaryConfig().Scale(0.15) // ~37 users
+	ds, err := synth.Generate(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v := core.NewValidator()
+	outs, part, err := v.ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var userDays float64
+	for _, u := range ds.Users {
+		userDays += u.Days
+	}
+	ckPerDay := float64(part.Checkins) / userDays
+	visPerDay := float64(part.Visits) / userDays
+	gps := 0
+	for _, u := range ds.Users {
+		gps += len(u.GPS)
+	}
+	gpsPerDay := float64(gps) / userDays
+
+	t.Logf("users=%d userDays=%.0f", len(ds.Users), userDays)
+	t.Logf("gps/day=%.0f (paper ~750)", gpsPerDay)
+	t.Logf("visits/day=%.1f (paper ~8.9)", visPerDay)
+	t.Logf("checkins/day=%.2f (paper ~4.1)", ckPerDay)
+	t.Logf("partition: %v", part)
+	t.Logf("extraneousRatio=%.2f (paper 0.75)", part.ExtraneousRatio())
+	t.Logf("coverage=%.3f (paper ~0.11)", part.CoverageRatio())
+
+	truth := map[string]int{}
+	for _, u := range ds.Users {
+		for _, c := range u.Checkins {
+			truth[string(c.Truth)]++
+		}
+	}
+	t.Logf("truth labels: %v", truth)
+
+	cls, err := classify.ClassifyAll(outs, classify.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := classify.Totals(cls)
+	all := float64(part.Checkins)
+	t.Logf("classified: honest=%.2f superfluous=%.2f remote=%.2f driveby=%.2f other=%.2f (of all checkins)",
+		float64(tot[classify.Honest])/all, float64(tot[classify.Superfluous])/all,
+		float64(tot[classify.Remote])/all, float64(tot[classify.Driveby])/all,
+		float64(tot[classify.Other])/all)
+	t.Logf("paper:      honest=0.25 superfluous=0.15 remote=0.40 driveby=0.13 other=0.08")
+
+	sc, err := core.ScoreAgainstTruth(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("matcher vs truth: acc=%.3f honestP=%.3f honestR=%.3f", sc.Accuracy, sc.HonestP, sc.HonestR)
+
+	fc, err := classify.CorrelateFeatures(outs, cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []classify.Kind{classify.Superfluous, classify.Remote, classify.Driveby, classify.Honest} {
+		r := fc.Rows[k]
+		t.Logf("corr %-12v friends=%+.2f badges=%+.2f mayors=%+.2f ckpd=%+.2f", k, r[0], r[1], r[2], r[3])
+	}
+
+	// Loose paper-band assertions.
+	if er := part.ExtraneousRatio(); er < 0.60 || er > 0.88 {
+		t.Errorf("extraneous ratio %.2f outside [0.60, 0.88]", er)
+	}
+	if cov := part.CoverageRatio(); cov < 0.05 || cov > 0.22 {
+		t.Errorf("coverage %.3f outside [0.05, 0.22]", cov)
+	}
+	if sc.Accuracy < 0.85 {
+		t.Errorf("matcher accuracy %.3f < 0.85", sc.Accuracy)
+	}
+}
+
+func TestCalibrationBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration generation is slow")
+	}
+	cfg := synth.BaselineConfig().Scale(0.5) // ~24 users
+	ds, err := synth.Generate(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.NewValidator()
+	_, part, err := v.ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var userDays float64
+	gps := 0
+	for _, u := range ds.Users {
+		userDays += u.Days
+		gps += len(u.GPS)
+	}
+	t.Logf("baseline: gps/day=%.0f (paper ~571) visits/day=%.1f (paper ~6.4) checkins/day=%.2f (paper ~0.68)",
+		float64(gps)/userDays, float64(part.Visits)/userDays, float64(part.Checkins)/userDays)
+	t.Logf("baseline partition: %v", part)
+	// Baseline checkins should be overwhelmingly honest.
+	if er := part.ExtraneousRatio(); er > 0.35 {
+		t.Errorf("baseline extraneous ratio %.2f > 0.35", er)
+	}
+}

@@ -1,0 +1,450 @@
+package synth
+
+import (
+	"math"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/poi"
+	"geosocial/internal/rng"
+)
+
+// Movement speeds. Walking stays under the paper's 4 mph (1.79 m/s)
+// driveby threshold; driving is well above it.
+const (
+	walkSpeed    = 1.3  // m/s
+	driveSpeed   = 10.5 // m/s mean
+	walkMaxDist  = 1100 // meters: trips shorter than this are walked
+	microStopMin = 120  // seconds
+	microStopMax = 300  // seconds (under the 6-minute visit threshold)
+)
+
+// eventKind discriminates schedule timeline entries.
+type eventKind int
+
+const (
+	evStay eventKind = iota
+	evMove
+)
+
+// schedEvent is one entry in a user's daily physical timeline: either a
+// stay at a POI or a movement leg between two locations.
+type schedEvent struct {
+	kind       eventKind
+	start, end int64 // Unix seconds
+	// Stay fields.
+	poiID  int
+	cat    poi.Category
+	loc    geo.LatLon
+	indoor bool
+	micro  bool // short stop below the visit threshold
+	// Move fields.
+	from, to geo.LatLon
+	drive    bool
+}
+
+func (e schedEvent) dur() int64 { return e.end - e.start }
+
+// anchors is the set of personally meaningful POIs a user's routine
+// revolves around.
+type anchors struct {
+	home    poi.POI
+	work    poi.POI
+	routine []poi.POI // favorite food/shop venues near home and work
+	leisure []poi.POI // the wider pool of discretionary venues
+}
+
+// unlistedHomeProb is the fraction of users whose home is not a listed
+// venue: most private residences have no Foursquare entry at all, so
+// their home visits snap to no POI and cannot be checked in at. This is
+// why Figure 4's missing-checkin mass concentrates at Professional/Shop/
+// Food rather than Residence.
+const unlistedHomeProb = 0.72
+
+// pickAnchors selects a user's anchor POIs from the city. Routine venues
+// are the closest food/shop options to home and work — matching how real
+// users frequent the same grocery store and lunch spot — and leisure
+// venues are popularity-weighted picks across the city.
+func pickAnchors(db *poi.DB, s *rng.Stream) anchors {
+	var a anchors
+	all := db.All()
+	byCat := make(map[poi.Category][]poi.POI)
+	for _, p := range all {
+		byCat[p.Category] = append(byCat[p.Category], p)
+	}
+	pick := func(cat poi.Category) poi.POI {
+		opts := byCat[cat]
+		return opts[s.Intn(len(opts))]
+	}
+	a.home = pick(poi.Residence)
+	if s.Bool(unlistedHomeProb) {
+		// Unlisted private residence: 200–450 m from the nearest listed
+		// Residence venue, outside the POI snap radius. ID -1 marks it
+		// as absent from the venue database.
+		a.home = poi.POI{
+			ID:       -1,
+			Name:     "unlisted home",
+			Category: poi.Residence,
+			Loc:      geo.Destination(a.home.Loc, s.Range(0, 360), s.Range(200, 450)),
+		}
+	}
+	if s.Bool(0.85) {
+		a.work = pick(poi.Professional)
+	} else {
+		a.work = pick(poi.College)
+	}
+
+	// Routine food/shops: nearest options to home and to work.
+	nearest := func(cat poi.Category, from geo.LatLon, skip map[int]bool) poi.POI {
+		best := poi.POI{ID: -1}
+		bestD := math.Inf(1)
+		for _, p := range byCat[cat] {
+			if skip[p.ID] {
+				continue
+			}
+			if d := geo.Distance(from, p.Loc); d < bestD {
+				bestD = d
+				best = p
+			}
+		}
+		return best
+	}
+	seen := map[int]bool{}
+	for _, spec := range []struct {
+		cat  poi.Category
+		from geo.LatLon
+	}{
+		{poi.Food, a.work.Loc},
+		{poi.Food, a.home.Loc},
+		{poi.Shop, a.home.Loc},
+		{poi.Shop, a.work.Loc},
+	} {
+		if p := nearest(spec.cat, spec.from, seen); p.ID >= 0 {
+			a.routine = append(a.routine, p)
+			seen[p.ID] = true
+		}
+	}
+
+	// Leisure pool: 12 popularity-weighted picks from discretionary
+	// categories. Leisure concentrates in the entertainment district
+	// around downtown (with a weaker pull toward home), as it does in
+	// real cities — which is why consecutive *honest* checkins hop short
+	// within-district distances while GPS traces also see the long
+	// commutes to peripheral homes and offices (Figure 7a's ordering).
+	leisureCats := []poi.Category{poi.Nightlife, poi.Arts, poi.Outdoors, poi.Food, poi.Travel, poi.Shop}
+	var pool []poi.POI
+	for _, c := range leisureCats {
+		pool = append(pool, byCat[c]...)
+	}
+	if len(pool) > 0 {
+		// Downtown sits at the city centroid (cluster 0 is pinned there
+		// and holds a triple share of venues).
+		var pts []geo.LatLon
+		for _, p := range all {
+			pts = append(pts, p.Loc)
+		}
+		downtown := geo.BoundsOf(pts).Center()
+		weights := make([]float64, len(pool))
+		total := 0.0
+		for i, p := range pool {
+			dHome := geo.Distance(a.home.Loc, p.Loc)
+			dDown := geo.Distance(downtown, p.Loc)
+			// Square-root popularity keeps hits attractive without
+			// letting a famous venue across town outweigh the district
+			// gravity (quadratic decay from downtown).
+			w := math.Sqrt(p.Popularity)
+			w /= 1 + (dDown/800)*(dDown/800)
+			w /= 1 + dHome/10000
+			weights[i] = w
+			total += w
+		}
+		for k := 0; k < 12 && k < len(pool); k++ {
+			u := s.Float64() * total
+			acc := 0.0
+			for i, w := range weights {
+				acc += w
+				if u < acc {
+					a.leisure = append(a.leisure, pool[i])
+					break
+				}
+			}
+		}
+	}
+	if len(a.leisure) == 0 {
+		a.leisure = append(a.leisure, a.home)
+	}
+	return a
+}
+
+// dayPlanner builds one day's physical timeline.
+type dayPlanner struct {
+	cfg    *Config
+	db     *poi.DB
+	anch   anchors
+	tr     traits
+	s      *rng.Stream
+	events []schedEvent
+	cursor int64 // current time
+	curLoc geo.LatLon
+	curPOI poi.POI
+}
+
+// planDay builds the timeline of stays and moves for the day starting at
+// midnight Unix second dayStart. weekend toggles the weekend routine.
+func planDay(cfg *Config, db *poi.DB, anch anchors, tr traits, dayStart int64, weekend bool, s *rng.Stream) []schedEvent {
+	p := &dayPlanner{cfg: cfg, db: db, anch: anch, tr: tr, s: s}
+	trackStart := dayStart + int64(cfg.TrackStartHour)*3600
+	trackEnd := dayStart + int64(cfg.TrackEndHour)*3600
+	p.cursor = trackStart
+	p.curLoc = anch.home.Loc
+	p.curPOI = anch.home
+
+	if weekend {
+		p.planWeekend(trackEnd)
+	} else {
+		p.planWeekday(trackEnd)
+	}
+	// Final stay at home until tracking ends.
+	if p.cursor < trackEnd {
+		p.stayAt(p.anch.home, trackEnd-p.cursor)
+	}
+	return p.events
+}
+
+func (p *dayPlanner) planWeekday(trackEnd int64) {
+	s := p.s
+	// Morning at home.
+	leave := int64(s.Range(45*60, 105*60)) // leave 45–105 min after tracking starts
+	p.stayAt(p.anch.home, leave)
+
+	// Optional coffee stop on the way to work.
+	if s.Bool(p.cfg.CoffeeProb) && len(p.anch.routine) > 0 {
+		coffee := p.anch.routine[0]
+		p.moveTo(coffee)
+		p.stayAt(coffee, int64(s.Range(7*60, 16*60)))
+	}
+	p.moveTo(p.anch.work)
+
+	// Morning work block, optional mid-morning break at a nearby venue.
+	lunchTime := int64(s.Range(4.6*3600, 5.6*3600)) // ~noon
+	if s.Bool(p.cfg.BreakProb) {
+		half := int64(s.Range(1.2*3600, 2.2*3600))
+		p.stayAt(p.anch.work, half)
+		if b, ok := p.nearbyVenue(p.anch.work.Loc, 600); ok {
+			p.moveTo(b)
+			p.stayAt(b, int64(s.Range(8*60, 25*60)))
+			p.moveTo(p.anch.work)
+		}
+	}
+	p.stayUntilOffset(p.anch.work, lunchTime)
+
+	// Lunch.
+	if s.Bool(p.cfg.LunchProb) && len(p.anch.routine) > 0 {
+		lunch := p.anch.routine[s.Intn(len(p.anch.routine))]
+		p.moveTo(lunch)
+		p.stayAt(lunch, int64(s.Range(25*60, 55*60)))
+		p.moveTo(p.anch.work)
+	}
+
+	// Afternoon work block until ~17:00–18:00.
+	p.stayUntilOffset(p.anch.work, int64(s.Range(9.6*3600, 10.8*3600)))
+
+	// Evening errands and leisure, scaled by activity.
+	n := p.s.Poisson(p.cfg.ErrandMean * math.Sqrt(p.tr.activity))
+	p.outings(n, trackEnd-2400)
+
+	// Night out: a chain of consecutive downtown stops (dinner, bar).
+	// These back-to-back leisure visits are where most honest checkins
+	// happen, so honest checkin-to-checkin hops are short within-district
+	// distances (Figure 7a's honest-below-GPS ordering).
+	if s.Bool(0.50*math.Sqrt(p.tr.activity)) && p.cursor < trackEnd-7200 {
+		stops := 2
+		if s.Bool(0.45) {
+			stops = 3
+		}
+		var first poi.POI
+		for i := 0; i < stops && p.cursor < trackEnd-3600; i++ {
+			var v poi.POI
+			var ok bool
+			if i == 0 {
+				v, ok = p.leisurePick()
+				first = v
+			} else {
+				// Later stops stay within walking distance of the first
+				// (bar-hopping within one district).
+				v, ok = p.nearbyVenue(first.Loc, 350)
+			}
+			if !ok || v.ID == p.curPOI.ID {
+				continue
+			}
+			p.moveTo(v)
+			p.stayAt(v, int64(s.Range(35*60, 80*60)))
+		}
+	}
+
+	// Head home.
+	p.moveTo(p.anch.home)
+}
+
+func (p *dayPlanner) planWeekend(trackEnd int64) {
+	s := p.s
+	// Lazy morning.
+	p.stayAt(p.anch.home, int64(s.Range(1.5*3600, 3.5*3600)))
+	n := 1 + p.s.Poisson(p.cfg.WeekendOutMean*math.Sqrt(p.tr.activity)*0.7)
+	p.outings(n, trackEnd-2400)
+	p.moveTo(p.anch.home)
+	// Possible evening leisure (dinner, nightlife).
+	if s.Bool(0.35*math.Sqrt(p.tr.activity)) && p.cursor < trackEnd-7200 {
+		p.stayAt(p.anch.home, int64(s.Range(0.5*3600, 1.5*3600)))
+		if v, ok := p.leisurePick(); ok {
+			p.moveTo(v)
+			p.stayAt(v, int64(s.Range(0.8*3600, 2.5*3600)))
+			p.moveTo(p.anch.home)
+		}
+	}
+}
+
+// outings appends up to n errand/leisure stops, stopping when the clock
+// passes deadline.
+func (p *dayPlanner) outings(n int, deadline int64) {
+	for i := 0; i < n && p.cursor < deadline; i++ {
+		var dest poi.POI
+		var ok bool
+		if p.s.Bool(0.55) && len(p.anch.routine) > 0 {
+			dest = p.anch.routine[p.s.Intn(len(p.anch.routine))]
+			ok = true
+		} else {
+			dest, ok = p.leisurePick()
+		}
+		if !ok || dest.ID == p.curPOI.ID {
+			continue
+		}
+		p.moveTo(dest)
+		p.stayAt(dest, int64(p.s.Range(15*60, 80*60)))
+	}
+}
+
+func (p *dayPlanner) leisurePick() (poi.POI, bool) {
+	if len(p.anch.leisure) == 0 {
+		return poi.POI{}, false
+	}
+	return p.anch.leisure[p.s.Intn(len(p.anch.leisure))], true
+}
+
+// nearbyVenue picks a random non-current POI within radius meters.
+func (p *dayPlanner) nearbyVenue(from geo.LatLon, radius float64) (poi.POI, bool) {
+	ids := p.db.Within(from, radius, nil)
+	p.s.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		if id == p.curPOI.ID {
+			continue
+		}
+		v, err := p.db.Get(id)
+		if err == nil {
+			return v, true
+		}
+	}
+	return poi.POI{}, false
+}
+
+// stayAt appends a stay of the given duration at the POI.
+func (p *dayPlanner) stayAt(at poi.POI, dur int64) {
+	if dur <= 0 {
+		return
+	}
+	p.events = append(p.events, schedEvent{
+		kind:   evStay,
+		start:  p.cursor,
+		end:    p.cursor + dur,
+		poiID:  at.ID,
+		cat:    at.Category,
+		loc:    at.Loc,
+		indoor: p.s.Bool(indoorProb(at.Category)),
+	})
+	p.cursor += dur
+	p.curLoc = at.Loc
+	p.curPOI = at
+}
+
+// stayUntilOffset extends a stay at the POI until the given offset from
+// the day's tracking start (no-op when already past it).
+func (p *dayPlanner) stayUntilOffset(at poi.POI, offset int64) {
+	dayTrackStart := p.events[0].start
+	target := dayTrackStart + offset
+	if target > p.cursor {
+		p.stayAt(at, target-p.cursor)
+	}
+}
+
+// moveTo appends a movement leg from the current location to the POI,
+// with possible micro-stops during drives.
+func (p *dayPlanner) moveTo(dest poi.POI) {
+	dist := geo.Distance(p.curLoc, dest.Loc)
+	if dist < 15 {
+		p.curPOI = dest
+		p.curLoc = dest.Loc
+		return
+	}
+	drive := dist >= walkMaxDist
+	speed := walkSpeed * p.s.Range(0.85, 1.2)
+	if drive {
+		speed = driveSpeed * p.s.Range(0.8, 1.25)
+	}
+	// A driving errand sometimes includes a short stop on the way
+	// (gas, ATM): under the visit threshold, it produces the "other"
+	// extraneous checkins of §5.1.
+	if drive && p.s.Bool(p.cfg.Incentive.MicroStopProb) {
+		frac := p.s.Range(0.3, 0.7)
+		mid := geo.Interpolate(p.curLoc, dest.Loc, frac)
+		if stop, ok := p.nearbyVenue(mid, 400); ok {
+			p.appendMove(stop.Loc, dist*frac/speed+1, true)
+			p.events = append(p.events, schedEvent{
+				kind:  evStay,
+				start: p.cursor,
+				end:   p.cursor + int64(p.s.Range(microStopMin, microStopMax)),
+				poiID: stop.ID,
+				cat:   stop.Category,
+				loc:   stop.Loc,
+				micro: true,
+			})
+			p.cursor = p.events[len(p.events)-1].end
+			p.curLoc = stop.Loc
+			rest := geo.Distance(p.curLoc, dest.Loc)
+			p.appendMove(dest.Loc, rest/speed+1, true)
+			p.curPOI = dest
+			return
+		}
+	}
+	p.appendMove(dest.Loc, dist/speed+1, drive)
+	p.curPOI = dest
+}
+
+// appendMove appends a move leg taking durSec seconds to reach to.
+func (p *dayPlanner) appendMove(to geo.LatLon, durSec float64, drive bool) {
+	d := int64(durSec)
+	if d < 1 {
+		d = 1
+	}
+	p.events = append(p.events, schedEvent{
+		kind:  evMove,
+		start: p.cursor,
+		end:   p.cursor + d,
+		from:  p.curLoc,
+		to:    to,
+		drive: drive,
+	})
+	p.cursor += d
+	p.curLoc = to
+}
+
+// indoorProb is the chance a stay at a category happens out of GPS sight
+// (the app falls back to WiFi/accelerometer stationarity, §3).
+func indoorProb(c poi.Category) float64 {
+	switch c {
+	case poi.Outdoors:
+		return 0.05
+	case poi.Travel:
+		return 0.35
+	default:
+		return 0.6
+	}
+}

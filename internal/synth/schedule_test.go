@@ -1,0 +1,238 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/poi"
+	"geosocial/internal/rng"
+)
+
+func testWorld(t *testing.T, seed uint64) *poi.DB {
+	t.Helper()
+	cfg := poi.DefaultCityConfig()
+	cfg.POICount = 300
+	db, err := poi.GenerateCity(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestPlanDayTimelineInvariants: a day plan is contiguous (no gaps, no
+// overlaps), stays within the tracking window, and starts/ends at home.
+func TestPlanDayTimelineInvariants(t *testing.T) {
+	db := testWorld(t, 1)
+	cfg := PrimaryConfig()
+	err := quick.Check(func(seed uint16, weekend bool) bool {
+		s := rng.New(uint64(seed))
+		tr := sampleTraits(cfg.Incentive, s.Split("t"))
+		anch := pickAnchors(db, s.Split("a"))
+		dayStart := int64(86400 * 100)
+		events := planDay(&cfg, db, anch, tr, dayStart, weekend, s.Split("p"))
+		if len(events) == 0 {
+			return false
+		}
+		trackStart := dayStart + int64(cfg.TrackStartHour)*3600
+		trackEnd := dayStart + int64(cfg.TrackEndHour)*3600
+		if events[0].start != trackStart {
+			return false
+		}
+		// A late outing may overrun the nominal tracking end before the
+		// user heads home, but never by hours.
+		lastEnd := events[len(events)-1].end
+		if lastEnd < trackEnd || lastEnd > trackEnd+3*3600 {
+			return false
+		}
+		for i, ev := range events {
+			if ev.end < ev.start {
+				return false
+			}
+			if i > 0 && ev.start != events[i-1].end {
+				return false // gap or overlap
+			}
+		}
+		// The day starts with a stay at home and ends at home (either a
+		// final home stay or the drive home that overran the window).
+		first, last := events[0], events[len(events)-1]
+		if first.kind != evStay || geo.Distance(first.loc, anch.home.Loc) > 1 {
+			return false
+		}
+		switch last.kind {
+		case evStay:
+			if geo.Distance(last.loc, anch.home.Loc) > 1 {
+				return false
+			}
+		case evMove:
+			if geo.Distance(last.to, anch.home.Loc) > 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanDayMovesConnect: every move leg starts where the previous event
+// left off.
+func TestPlanDayMovesConnect(t *testing.T) {
+	db := testWorld(t, 2)
+	cfg := PrimaryConfig()
+	s := rng.New(5)
+	tr := sampleTraits(cfg.Incentive, s.Split("t"))
+	anch := pickAnchors(db, s.Split("a"))
+	events := planDay(&cfg, db, anch, tr, 86400*200, false, s.Split("p"))
+	cur := anch.home.Loc
+	for i, ev := range events {
+		switch ev.kind {
+		case evStay:
+			if geo.Distance(ev.loc, cur) > 1 && i > 0 && events[i-1].kind != evMove {
+				t.Fatalf("event %d: stay teleported %.0f m", i, geo.Distance(ev.loc, cur))
+			}
+			cur = ev.loc
+		case evMove:
+			if geo.Distance(ev.from, cur) > 1 {
+				t.Fatalf("event %d: move starts %.0f m from current position", i, geo.Distance(ev.from, cur))
+			}
+			cur = ev.to
+		}
+	}
+}
+
+func TestPickAnchorsStructure(t *testing.T) {
+	db := testWorld(t, 3)
+	s := rng.New(7)
+	listed, unlisted := 0, 0
+	for i := 0; i < 60; i++ {
+		a := pickAnchors(db, s.Split(fmt.Sprintf("u%d", i)))
+		if a.home.Category != poi.Residence {
+			t.Fatalf("home category %v", a.home.Category)
+		}
+		if a.home.ID < 0 {
+			unlisted++
+		} else {
+			listed++
+		}
+		if a.work.Category != poi.Professional && a.work.Category != poi.College {
+			t.Fatalf("work category %v", a.work.Category)
+		}
+		if len(a.routine) == 0 || len(a.leisure) == 0 {
+			t.Fatal("empty anchor pools")
+		}
+		for _, p := range a.routine {
+			if p.Category != poi.Food && p.Category != poi.Shop {
+				t.Fatalf("routine venue category %v", p.Category)
+			}
+		}
+	}
+	// The unlisted-home fraction must be materially present on both sides.
+	if unlisted == 0 || listed == 0 {
+		t.Fatalf("unlisted/listed split degenerate: %d/%d", unlisted, listed)
+	}
+}
+
+func TestIndoorProbRange(t *testing.T) {
+	for _, c := range poi.Categories() {
+		p := indoorProb(c)
+		if p < 0 || p > 1 {
+			t.Fatalf("indoorProb(%v) = %g", c, p)
+		}
+	}
+	if indoorProb(poi.Outdoors) >= indoorProb(poi.Residence) {
+		t.Error("outdoors venues should rarely be indoor")
+	}
+}
+
+func TestSampleTraitsBounds(t *testing.T) {
+	for _, rewardSeeking := range []bool{true, false} {
+		ic := PrimaryConfig().Incentive
+		ic.RewardSeeking = rewardSeeking
+		s := rng.New(11)
+		for i := 0; i < 200; i++ {
+			tr := sampleTraits(ic, s.Split("x"))
+			if tr.activity <= 0 {
+				t.Fatalf("activity %g", tr.activity)
+			}
+			for name, v := range map[string]float64{
+				"badgeHunt": tr.badgeHunt, "mayorSeek": tr.mayorSeek,
+				"driveby": tr.driveby, "social": tr.social,
+			} {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s = %g out of [0,1]", name, v)
+				}
+			}
+			if !rewardSeeking && (tr.badgeHunt > 0.05 || tr.mayorSeek > 0.05) {
+				t.Fatal("volunteer with reward traits")
+			}
+		}
+	}
+}
+
+func TestProfileNonNegative(t *testing.T) {
+	s := rng.New(13)
+	ic := PrimaryConfig().Incentive
+	for i := 0; i < 200; i++ {
+		tr := sampleTraits(ic, s.Split("t"))
+		p := tr.profile(s.Split("p"))
+		if p.Friends < 0 || p.Badges < 0 || p.Mayors < 0 {
+			t.Fatalf("negative profile: %+v", p)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := PrimaryConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := PrimaryConfig()
+	bad.Users = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Users=0 accepted")
+	}
+	bad = PrimaryConfig()
+	bad.TrackEndHour = bad.TrackStartHour
+	if err := bad.Validate(); err == nil {
+		t.Error("empty tracking window accepted")
+	}
+	bad = PrimaryConfig()
+	bad.GPSDropProb = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("GPSDropProb=1 accepted")
+	}
+}
+
+func TestScaleClampsToOneUser(t *testing.T) {
+	cfg := PrimaryConfig().Scale(0.0001)
+	if cfg.Users != 1 {
+		t.Fatalf("Users = %d, want 1", cfg.Users)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := PrimaryConfig().Scale(0.02)
+	a, err := Generate(cfg, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Users) != len(b.Users) {
+		t.Fatal("user counts differ")
+	}
+	for i := range a.Users {
+		ua, ub := a.Users[i], b.Users[i]
+		if len(ua.GPS) != len(ub.GPS) || len(ua.Checkins) != len(ub.Checkins) {
+			t.Fatalf("user %d traces differ across identical seeds", i)
+		}
+		if ua.Profile != ub.Profile {
+			t.Fatalf("user %d profiles differ", i)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package synth is the user-study simulator: the substitution for the
+// paper's IRB-approved data collection (244 Foursquare users + 47 student
+// volunteers running a companion smartphone app, §3).
+//
+// It generates a synthetic city of POIs, a population of users with latent
+// behavioral traits, and — per user — a per-minute GPS trace plus a
+// Foursquare-style checkin trace. Checkin behaviour is driven by an
+// incentive model mirroring §5.2: badge hunters submit remote checkins at
+// far-away POIs, mayorship seekers submit superfluous checkins at venues
+// adjacent to the one they are visiting, on-the-go users check in while
+// driving past POIs, and everyone forgets to check in at boring routine
+// places (home, office, gas station), producing the missing-checkin mass
+// of §4.2.
+//
+// Every emitted checkin carries a ground-truth label (trace.Label) which
+// analysis code never reads; it exists so the validator can be scored
+// against the generator's intent — something the paper itself could not
+// do with real users.
+//
+// All generation is deterministic given one rng.Stream.
+package synth
+
+import (
+	"fmt"
+	"time"
+
+	"geosocial/internal/poi"
+)
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// Name labels the dataset ("primary", "baseline").
+	Name string
+	// Users is the number of participants.
+	Users int
+	// MeanDays and DaysJitter control the per-user measurement window
+	// length (normal, clamped to [MinDays, MaxDays]).
+	MeanDays   float64
+	DaysJitter float64
+	MinDays    int
+	MaxDays    int
+	// Start is the first possible study day (midnight UTC); users begin
+	// on a uniformly random day within StaggerDays of it.
+	Start       time.Time
+	StaggerDays int
+
+	// City configures the synthetic POI world.
+	City poi.CityConfig
+
+	// GPS sampling.
+	GPSPeriod   time.Duration // fix interval, per-minute in the paper
+	GPSNoiseM   float64       // outdoor fix noise sigma (meters)
+	GPSDropProb float64       // probability a scheduled fix is lost
+	// GapsPerDay is the mean number of extended signal-loss windows per
+	// day (phone off, dead zones); each lasts 10–40 minutes.
+	GapsPerDay float64
+	// TrackStartHour and TrackEndHour bound the daily tracking window
+	// (the app does not record while the user sleeps / phone charges).
+	TrackStartHour, TrackEndHour int
+
+	// Schedule shaping.
+	LunchProb      float64 // weekday probability of a lunch outing
+	CoffeeProb     float64 // weekday probability of a pre-work coffee stop
+	BreakProb      float64 // probability of a mid-work break outing
+	ErrandMean     float64 // Poisson mean of weekday-evening errands
+	WeekendOutMean float64 // Poisson mean of weekend outings
+
+	// Incentive configures checkin behaviour.
+	Incentive IncentiveConfig
+}
+
+// IncentiveConfig controls the checkin behaviour model.
+type IncentiveConfig struct {
+	// RewardSeeking enables the extraneous-checkin behaviours. The
+	// Baseline cohort (student volunteers indifferent to Foursquare
+	// rewards, §3) sets this false.
+	RewardSeeking bool
+	// HeavyFrac is the fraction of users with strong reward-seeking
+	// traits (the Fig 5 heavy tail: ~20 % of users have up to 80 %
+	// extraneous checkins).
+	HeavyFrac float64
+	// DiligenceMean scales the probability of honest checkins at visits.
+	DiligenceMean float64
+	// ActivityScale multiplies the population's base checkin appetite.
+	ActivityScale float64
+	// RemoteRate scales remote-session frequency, SuperfluousProb the
+	// per-honest-checkin probability of a superfluous burst, DrivebyProb
+	// the per-drive probability of a driveby checkin, and
+	// MicroStopCheckinProb the probability a short (<6 min) stop emits a
+	// checkin (the "no distinctive features" 10 % residue of §5.1).
+	RemoteRate           float64
+	SuperfluousProb      float64
+	DrivebyProb          float64
+	MicroStopProb        float64
+	MicroStopCheckinProb float64
+}
+
+// studyEpoch is the first day of the paper's collection window
+// (January 2013).
+var studyEpoch = time.Date(2013, time.January, 14, 0, 0, 0, 0, time.UTC)
+
+// PrimaryConfig returns the generator configuration for the Primary
+// dataset: 244 ordinary Foursquare users, ~14.2 days each, full incentive
+// response (Table 1, row 1).
+func PrimaryConfig() Config {
+	return Config{
+		Name:           "primary",
+		Users:          244,
+		MeanDays:       14.2,
+		DaysJitter:     4.5,
+		MinDays:        5,
+		MaxDays:        28,
+		Start:          studyEpoch,
+		StaggerDays:    150,
+		City:           poi.DefaultCityConfig(),
+		GPSPeriod:      time.Minute,
+		GPSNoiseM:      8,
+		GPSDropProb:    0.10,
+		GapsPerDay:     3.0,
+		TrackStartHour: 7,
+		TrackEndHour:   23,
+		LunchProb:      0.60,
+		CoffeeProb:     0.45,
+		BreakProb:      0.40,
+		ErrandMean:     2.2,
+		WeekendOutMean: 2.6,
+		Incentive: IncentiveConfig{
+			RewardSeeking:        true,
+			HeavyFrac:            0.25,
+			DiligenceMean:        1.55,
+			ActivityScale:        1.0,
+			RemoteRate:           0.80,
+			SuperfluousProb:      1.0,
+			DrivebyProb:          1.0,
+			MicroStopProb:        0.22,
+			MicroStopCheckinProb: 0.60,
+		},
+	}
+}
+
+// BaselineConfig returns the generator configuration for the Baseline
+// dataset: 47 student volunteers, ~20.8 days each, indifferent to rewards
+// (Table 1, row 2). Students have lighter schedules (campus instead of a
+// 9-to-5) and check in less often overall.
+func BaselineConfig() Config {
+	cfg := PrimaryConfig()
+	cfg.Name = "baseline"
+	cfg.Users = 47
+	cfg.MeanDays = 20.8
+	cfg.DaysJitter = 5
+	cfg.MaxDays = 35
+	cfg.GPSDropProb = 0.15
+	cfg.GapsPerDay = 4.5
+	cfg.TrackStartHour = 8
+	cfg.TrackEndHour = 22
+	cfg.LunchProb = 0.5
+	cfg.CoffeeProb = 0.3
+	cfg.BreakProb = 0.35
+	cfg.ErrandMean = 1.2
+	cfg.WeekendOutMean = 2.0
+	cfg.Incentive = IncentiveConfig{
+		RewardSeeking:        false,
+		HeavyFrac:            0,
+		DiligenceMean:        2.0,
+		ActivityScale:        0.6,
+		RemoteRate:           0,
+		SuperfluousProb:      0,
+		DrivebyProb:          0,
+		MicroStopProb:        0.15,
+		MicroStopCheckinProb: 0.05,
+	}
+	return cfg
+}
+
+// Scale returns a copy of cfg with the user count scaled by f (minimum 1
+// user). It lets tests and examples run the same behavioural model at a
+// fraction of the paper's population.
+func (c Config) Scale(f float64) Config {
+	out := c
+	out.Users = int(float64(c.Users)*f + 0.5)
+	if out.Users < 1 {
+		out.Users = 1
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Users <= 0 {
+		return fmt.Errorf("synth: Users must be positive, got %d", c.Users)
+	}
+	if c.MeanDays <= 0 {
+		return fmt.Errorf("synth: MeanDays must be positive, got %g", c.MeanDays)
+	}
+	if c.MinDays <= 0 || c.MaxDays < c.MinDays {
+		return fmt.Errorf("synth: invalid day bounds [%d, %d]", c.MinDays, c.MaxDays)
+	}
+	if c.GPSPeriod <= 0 {
+		return fmt.Errorf("synth: GPSPeriod must be positive, got %v", c.GPSPeriod)
+	}
+	if c.TrackStartHour < 0 || c.TrackEndHour > 24 || c.TrackEndHour <= c.TrackStartHour {
+		return fmt.Errorf("synth: invalid tracking window [%d, %d]", c.TrackStartHour, c.TrackEndHour)
+	}
+	if c.GPSDropProb < 0 || c.GPSDropProb >= 1 {
+		return fmt.Errorf("synth: GPSDropProb must be in [0,1), got %g", c.GPSDropProb)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"math"
+
+	"geosocial/internal/poi"
+	"geosocial/internal/rng"
+	"geosocial/internal/trace"
+)
+
+// traits is a user's latent behavioural state. Everything a user does —
+// and the profile features Foursquare would report for her — derives from
+// these five numbers, which is what produces the Table 2 correlation
+// structure: remote checkins and badge counts share badgeHunt as their
+// common cause, superfluous checkins and mayorship counts share mayorSeek,
+// and activity couples checkin volume to reward seeking so that honest
+// ratio anti-correlates with every profile feature.
+type traits struct {
+	activity   float64 // appetite for checkins and outings (~0.3 .. 3)
+	badgeHunt  float64 // propensity for remote checkin sprees [0, 1]
+	mayorSeek  float64 // propensity for superfluous checkins [0, 1]
+	driveby    float64 // propensity to check in while driving [0, 1]
+	social     float64 // friend-network size driver [0, 1]
+	diligence  float64 // scales honest checkin probability at visits
+	remoteIdio float64 // idiosyncratic remote-rate multiplier (noise)
+}
+
+// sampleTraits draws one user's latent traits.
+func sampleTraits(ic IncentiveConfig, s *rng.Stream) traits {
+	var t traits
+	if ic.RewardSeeking {
+		heavy := s.Bool(ic.HeavyFrac)
+		if heavy {
+			t.badgeHunt = s.Range(0.45, 1.0)
+		} else {
+			t.badgeHunt = s.Range(0, 0.28)
+		}
+		// Mayor seeking is a partially overlapping population: some
+		// badge hunters also grind mayorships, plus an independent set.
+		if s.Bool(0.18) || (heavy && s.Bool(0.35)) {
+			t.mayorSeek = s.Range(0.4, 1.0)
+		} else {
+			t.mayorSeek = s.Range(0, 0.3)
+		}
+	} else {
+		// Volunteers: negligible reward response.
+		t.badgeHunt = s.Range(0, 0.03)
+		t.mayorSeek = s.Range(0, 0.03)
+	}
+	// Activity is log-normal and *couples to reward seeking*: reward
+	// hunters check in (and go out) more. This is the mechanism behind
+	// the negative honest-ratio vs checkins/day correlation.
+	t.activity = math.Exp(s.Norm(0, 0.5)) * (1 + 0.35*t.badgeHunt + 0.10*t.mayorSeek)
+	t.activity *= ic.ActivityScale
+	if t.activity < 0.15 {
+		t.activity = 0.15
+	}
+	if ic.RewardSeeking {
+		// Driveby checkins come from a small "on-the-go" subpopulation,
+		// independent of reward hunting: these users check in repeatedly
+		// while driving, which lifts their checkins/day without any
+		// badges or mayorships — the Table 2 driveby row (negative
+		// against all profile features except a positive checkins/day).
+		if s.Bool(0.15) {
+			t.driveby = s.Range(0.5, 0.9)
+		} else {
+			t.driveby = s.Range(0, 0.3)
+		}
+	} else {
+		t.driveby = s.Range(0, 0.05)
+	}
+	t.social = clamp01(s.Range(0, 0.85) + 0.12*t.mayorSeek + 0.08*t.badgeHunt)
+	t.diligence = ic.DiligenceMean * s.Range(0.55, 1.45)
+	t.remoteIdio = math.Exp(s.Norm(0, 0.45))
+	return t
+}
+
+// profile derives the Foursquare profile features from the latent traits.
+// CheckinsPerDay is filled in later from the actually generated trace.
+func (t traits) profile(s *rng.Stream) trace.Profile {
+	actN := math.Sqrt(t.activity)
+	badges := 2 + 38*t.badgeHunt*actN + 4*t.social + s.Norm(0, 6.5)
+	mayors := 9.5*t.mayorSeek*actN + s.Norm(0, 1.3)
+	friends := 8 + 52*t.social + 16*t.mayorSeek + 12*t.badgeHunt + s.Norm(0, 9)
+	return trace.Profile{
+		Friends: posInt(friends),
+		Badges:  posInt(badges),
+		Mayors:  posInt(mayors),
+	}
+}
+
+func posInt(x float64) int {
+	if x < 0 {
+		return 0
+	}
+	return int(x + 0.5)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// checkinAffinity is the per-category probability scale that a visit
+// produces an honest checkin. Routine/boring/private categories are low —
+// the §4.2 survey finding that users skip "boring" and "private" places —
+// which concentrates missing checkins at Professional, Shop and Food
+// venues plus the home (Figure 4) and at each user's most-visited POIs
+// (Figure 3).
+var checkinAffinity = map[poi.Category]float64{
+	poi.Professional: 0.030,
+	poi.Outdoors:     0.35,
+	poi.Nightlife:    0.48,
+	poi.Arts:         0.48,
+	poi.Shop:         0.06,
+	poi.Travel:       0.50,
+	poi.Residence:    0.015,
+	poi.Food:         0.08,
+	poi.College:      0.040,
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteJSON encodes the dataset as JSON to w.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("trace: encode dataset %q: %w", d.Name, err)
+	}
+	return nil
+}
+
+// ReadJSON decodes a dataset from JSON and validates it.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("trace: decode dataset: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid dataset: %w", err)
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to path as JSON, gzip-compressed when the
+// path ends in ".gz".
+func (d *Dataset) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: save dataset: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: save dataset: %w", cerr)
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("trace: save dataset: %w", cerr)
+			}
+		}()
+		w = gz
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := d.WriteJSON(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a dataset from a JSON file (gzip-compressed when the path
+// ends in ".gz") and validates it.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load dataset: %w", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: load dataset: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadJSON(r)
+}
