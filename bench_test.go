@@ -11,6 +11,7 @@ package geosocial_test
 
 import (
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -336,10 +337,11 @@ func BenchmarkAblationBurstDetector(b *testing.B) {
 	b.ReportMetric(bestGap.Minutes(), "best-gap-min")
 }
 
-// BenchmarkGenerate measures raw dataset generation throughput at the
-// paper's full population.
-func BenchmarkGenerate(b *testing.B) {
+// benchGenerate measures raw dataset generation throughput with the given
+// worker count (0 = all cores, 1 = exact serial path).
+func benchGenerate(b *testing.B, workers int) {
 	cfg := synth.PrimaryConfig().Scale(0.1)
+	cfg.Parallelism = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ds, err := synth.Generate(cfg, rng.New(uint64(i)))
@@ -352,11 +354,22 @@ func BenchmarkGenerate(b *testing.B) {
 	}
 }
 
-// BenchmarkValidatePipeline measures the §4 pipeline (visit detection +
-// matching) over the shared context's primary dataset.
-func BenchmarkValidatePipeline(b *testing.B) {
+// BenchmarkGenerate measures generation at the default worker count.
+func BenchmarkGenerate(b *testing.B) { benchGenerate(b, 0) }
+
+// BenchmarkGenerateSerial pins generation to the legacy single-core path;
+// the ratio against BenchmarkGenerateParallel is the fan-out speedup.
+func BenchmarkGenerateSerial(b *testing.B) { benchGenerate(b, 1) }
+
+// BenchmarkGenerateParallel runs generation on all cores.
+func BenchmarkGenerateParallel(b *testing.B) { benchGenerate(b, runtime.GOMAXPROCS(0)) }
+
+// benchValidate measures the §4 pipeline (visit detection + matching)
+// over the shared context's primary dataset with the given worker count.
+func benchValidate(b *testing.B, workers int) {
 	ctx := ctxForBench(b)
 	v := core.NewValidator()
+	v.Parallelism = workers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := v.ValidateDataset(ctx.Primary); err != nil {
@@ -364,3 +377,35 @@ func BenchmarkValidatePipeline(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkValidatePipeline measures validation at the default worker
+// count.
+func BenchmarkValidatePipeline(b *testing.B) { benchValidate(b, 0) }
+
+// BenchmarkValidatePipelineSerial pins validation to the legacy
+// single-core path; the ratio against BenchmarkValidatePipelineParallel is
+// the fan-out speedup (≥ 2× expected on ≥ 4 cores).
+func BenchmarkValidatePipelineSerial(b *testing.B) { benchValidate(b, 1) }
+
+// BenchmarkValidatePipelineParallel runs validation on all cores.
+func BenchmarkValidatePipelineParallel(b *testing.B) { benchValidate(b, runtime.GOMAXPROCS(0)) }
+
+// benchClassify measures taxonomy classification over the shared
+// context's outcomes with the given worker count.
+func benchClassify(b *testing.B, workers int) {
+	ctx := ctxForBench(b)
+	p := classify.DefaultParams()
+	p.Parallelism = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classify.ClassifyAll(ctx.PrimaryOuts, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassifySerial pins classification to the single-core path.
+func BenchmarkClassifySerial(b *testing.B) { benchClassify(b, 1) }
+
+// BenchmarkClassifyParallel runs classification on all cores.
+func BenchmarkClassifyParallel(b *testing.B) { benchClassify(b, runtime.GOMAXPROCS(0)) }

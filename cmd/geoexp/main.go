@@ -7,12 +7,19 @@
 //
 //	geoexp -scale 0.25 -exp fig1
 //	geoexp -scale 1.0 -exp all        # the full paper, full population
+//	geoexp -scale 1.0 -workers 8      # build the study on 8 workers
 //	geoexp -list
+//
+// The -workers flag controls per-user pipeline parallelism while the
+// study context is built (0 = all cores); reports are identical for any
+// worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -21,30 +28,52 @@ import (
 	"geosocial/internal/eval"
 )
 
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geoexp: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing reports to stdout. It is
+// the whole tool minus process concerns, so tests can drive it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("geoexp", flag.ContinueOnError)
 	var (
-		scale = flag.Float64("scale", 0.25, "population scale relative to the paper's study")
-		seed  = flag.Uint64("seed", 42, "root RNG seed")
-		exp   = flag.String("exp", "all", "experiment ID or comma list (see -list)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		scale   = fs.Float64("scale", 0.25, "population scale relative to the paper's study")
+		seed    = fs.Uint64("seed", 42, "root RNG seed")
+		exp     = fs.String("exp", "all", "experiment ID or comma list (see -list)")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		workers = fs.Int("workers", 0, "per-user pipeline workers (0 = all cores, 1 = serial; reports are identical)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	if *list {
 		for _, id := range eval.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return nil
 	}
 
 	start := time.Now()
-	ctx, err := eval.NewContext(*scale, *seed)
+	ctx, err := eval.NewContextWorkers(*scale, *seed, *workers)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("study generated and validated at scale %.2f (seed %d) in %v\n\n",
+	fmt.Fprintf(stdout, "study generated and validated at scale %.2f (seed %d) in %v\n\n",
 		*scale, *seed, time.Since(start).Round(time.Millisecond))
 
 	ids := eval.IDs()
@@ -55,11 +84,12 @@ func main() {
 		id = strings.TrimSpace(id)
 		rep, err := eval.Run(ctx, id)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := rep.Render(os.Stdout); err != nil {
-			log.Fatal(err)
+		if err := rep.Render(stdout); err != nil {
+			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return nil
 }

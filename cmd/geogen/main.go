@@ -4,13 +4,18 @@
 // Usage:
 //
 //	geogen -scale 0.25 -seed 42 -out ./data
+//	geogen -scale 1.0 -workers 8 -out ./data   # generate users on 8 workers
 //
-// produces ./data/primary.json.gz and ./data/baseline.json.gz.
+// produces ./data/primary.json.gz and ./data/baseline.json.gz. The
+// -workers flag controls per-user generation parallelism (0 = all cores);
+// output is byte-identical for any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -19,20 +24,42 @@ import (
 	"geosocial/internal/synth"
 )
 
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geogen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing its report to stdout. It is
+// the whole tool minus process concerns, so tests can drive it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("geogen", flag.ContinueOnError)
 	var (
-		scale   = flag.Float64("scale", 1.0, "population scale relative to the paper's 244+47 users")
-		seed    = flag.Uint64("seed", 42, "root RNG seed")
-		outDir  = flag.String("out", ".", "output directory")
-		gz      = flag.Bool("gz", true, "gzip-compress the output")
-		dataset = flag.String("dataset", "both", "which dataset to generate: primary, baseline or both")
+		scale   = fs.Float64("scale", 1.0, "population scale relative to the paper's 244+47 users")
+		seed    = fs.Uint64("seed", 42, "root RNG seed")
+		outDir  = fs.String("out", ".", "output directory")
+		gz      = fs.Bool("gz", true, "gzip-compress the output")
+		dataset = fs.String("dataset", "both", "which dataset to generate: primary, baseline or both")
+		workers = fs.Int("workers", 0, "user-generation workers (0 = all cores, 1 = serial; output is identical)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	root := rng.New(*seed)
 	ext := ".json"
@@ -40,6 +67,7 @@ func main() {
 		ext = ".json.gz"
 	}
 	gen := func(cfg synth.Config) error {
+		cfg.Parallelism = *workers
 		ds, err := synth.Generate(cfg.Scale(*scale), root.Split(cfg.Name))
 		if err != nil {
 			return err
@@ -49,27 +77,21 @@ func main() {
 			return err
 		}
 		sum := ds.Summarize(nil)
-		fmt.Printf("%s: %d users, %d checkins, %d GPS points -> %s\n",
+		fmt.Fprintf(stdout, "%s: %d users, %d checkins, %d GPS points -> %s\n",
 			cfg.Name, sum.Users, sum.Checkins, sum.GPSPoints, path)
 		return nil
 	}
 	switch *dataset {
 	case "primary":
-		if err := gen(synth.PrimaryConfig()); err != nil {
-			log.Fatal(err)
-		}
+		return gen(synth.PrimaryConfig())
 	case "baseline":
-		if err := gen(synth.BaselineConfig()); err != nil {
-			log.Fatal(err)
-		}
+		return gen(synth.BaselineConfig())
 	case "both":
 		if err := gen(synth.PrimaryConfig()); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		if err := gen(synth.BaselineConfig()); err != nil {
-			log.Fatal(err)
-		}
+		return gen(synth.BaselineConfig())
 	default:
-		log.Fatalf("unknown -dataset %q (primary, baseline or both)", *dataset)
+		return fmt.Errorf("unknown -dataset %q (primary, baseline or both)", *dataset)
 	}
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesBothDatasets(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-seed", "7", "-out", dir, "-workers", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"primary.json.gz", "baseline.json.gz"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("expected %s: %v", name, err)
+		}
+	}
+	got := out.String()
+	if !strings.Contains(got, "primary:") || !strings.Contains(got, "baseline:") {
+		t.Errorf("report missing dataset lines:\n%s", got)
+	}
+}
+
+func TestRunSingleDatasetUncompressed(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-out", dir, "-dataset", "primary", "-gz=false"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "primary.json")); err != nil {
+		t.Errorf("expected primary.json: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "baseline.json")); err == nil {
+		t.Error("baseline.json written despite -dataset primary")
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-dataset", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for unknown -dataset")
+	}
+}

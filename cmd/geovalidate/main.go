@@ -7,12 +7,19 @@
 //
 //	geovalidate -in primary.json.gz
 //	geovalidate -in primary.json.gz -alpha 250 -beta 15m
+//	geovalidate -in primary.json.gz -workers 8   # validate users on 8 workers
+//
+// The -workers flag controls per-user pipeline parallelism (0 = all
+// cores); results are identical for any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"geosocial"
@@ -21,52 +28,78 @@ import (
 	"geosocial/internal/visits"
 )
 
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geovalidate: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing its report to stdout. It is
+// the whole tool minus process concerns, so tests can drive it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("geovalidate", flag.ContinueOnError)
 	var (
-		in    = flag.String("in", "", "dataset file (JSON, .gz supported)")
-		alpha = flag.Float64("alpha", 500, "spatial matching threshold in meters")
-		beta  = flag.Duration("beta", 30*time.Minute, "temporal matching threshold")
-		truth = flag.Bool("truth", true, "score the matcher against ground-truth labels when present")
+		in      = fs.String("in", "", "dataset file (JSON, .gz supported)")
+		alpha   = fs.Float64("alpha", 500, "spatial matching threshold in meters")
+		beta    = fs.Duration("beta", 30*time.Minute, "temporal matching threshold")
+		truth   = fs.Bool("truth", true, "score the matcher against ground-truth labels when present")
+		workers = fs.Int("workers", 0, "per-user pipeline workers (0 = all cores, 1 = serial; results are identical)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 	if *in == "" {
-		log.Fatal("missing -in dataset file (generate one with geogen)")
+		return fmt.Errorf("missing -in dataset file (generate one with geogen)")
 	}
 	ds, err := geosocial.LoadDataset(*in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	v := &core.Validator{
 		Params:      core.Params{Alpha: *alpha, Beta: *beta},
 		VisitConfig: visits.DefaultConfig(),
+		Parallelism: *workers,
 	}
 	outs, part, err := v.ValidateDataset(ds)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("dataset %q: %d users\n", ds.Name, len(ds.Users))
-	fmt.Printf("matching (alpha=%.0fm beta=%v): %v\n", *alpha, *beta, part)
+	fmt.Fprintf(stdout, "dataset %q: %d users\n", ds.Name, len(ds.Users))
+	fmt.Fprintf(stdout, "matching (alpha=%.0fm beta=%v): %v\n", *alpha, *beta, part)
 
-	cls, err := classify.ClassifyAll(outs, classify.DefaultParams())
+	clsParams := classify.DefaultParams()
+	clsParams.Parallelism = *workers
+	cls, err := classify.ClassifyAll(outs, clsParams)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tot := classify.Totals(cls)
-	fmt.Println("checkin taxonomy:")
+	fmt.Fprintln(stdout, "checkin taxonomy:")
 	for _, k := range []classify.Kind{classify.Honest, classify.Superfluous, classify.Remote, classify.Driveby, classify.Other} {
 		n := tot[k]
-		fmt.Printf("  %-12s %6d (%.1f%%)\n", k, n, 100*float64(n)/maxf(float64(part.Checkins), 1))
+		fmt.Fprintf(stdout, "  %-12s %6d (%.1f%%)\n", k, n, 100*float64(n)/maxf(float64(part.Checkins), 1))
 	}
 
 	if *truth {
 		if sc, err := core.ScoreAgainstTruth(outs); err == nil {
-			fmt.Printf("matcher vs ground truth: accuracy %.3f, honest precision %.3f, recall %.3f\n",
+			fmt.Fprintf(stdout, "matcher vs ground truth: accuracy %.3f, honest precision %.3f, recall %.3f\n",
 				sc.Accuracy, sc.HonestP, sc.HonestR)
 		}
 	}
+	return nil
 }
 
 func maxf(a, b float64) float64 {

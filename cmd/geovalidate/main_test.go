@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+// genDataset writes a tiny primary dataset to a temp file and returns the
+// path.
+func genDataset(t *testing.T) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.02), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "primary.json.gz")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReportsPartitionAndTaxonomy(t *testing.T) {
+	path := genDataset(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"matching (alpha=500m", "checkin taxonomy:", "honest", "extraneous", "matcher vs ground truth"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSerialAndParallelReportsIdentical(t *testing.T) {
+	path := genDataset(t)
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-in", path, "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("reports differ between -workers 1 and 8:\n--- serial\n%s--- parallel\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error when -in is missing")
+	}
+}

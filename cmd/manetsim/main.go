@@ -5,50 +5,80 @@
 // Usage:
 //
 //	manetsim -in primary.json.gz -nodes 200 -flows 100 -duration 3600
+//	manetsim -in primary.json.gz -workers 8   # validate the dataset on 8 workers
+//
+// The -workers flag controls per-user validation parallelism while the
+// mobility models are fitted (0 = all cores); results are identical for
+// any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"geosocial"
 	"geosocial/internal/stats"
 )
 
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("manetsim: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing its report to stdout. It is
+// the whole tool minus process concerns, so tests can drive it directly.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("manetsim", flag.ContinueOnError)
 	var (
-		in       = flag.String("in", "", "dataset file (JSON, .gz supported)")
-		nodes    = flag.Int("nodes", 200, "node count")
-		flows    = flag.Int("flows", 100, "CBR flow count")
-		duration = flag.Float64("duration", 3600, "simulated seconds")
-		seed     = flag.Uint64("seed", 42, "RNG seed")
+		in       = fs.String("in", "", "dataset file (JSON, .gz supported)")
+		nodes    = fs.Int("nodes", 200, "node count")
+		flows    = fs.Int("flows", 100, "CBR flow count")
+		duration = fs.Float64("duration", 3600, "simulated seconds")
+		seed     = fs.Uint64("seed", 42, "RNG seed")
+		workers  = fs.Int("workers", 0, "per-user validation workers (0 = all cores, 1 = serial; results are identical)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
 	if *in == "" {
-		log.Fatal("missing -in dataset file (generate one with geogen)")
+		return fmt.Errorf("missing -in dataset file (generate one with geogen)")
 	}
 	ds, err := geosocial.LoadDataset(*in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	res, err := geosocial.ValidateDataset(ds)
+	res, err := geosocial.ValidateDatasetWorkers(ds, *workers)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	outs, err := res.RunMANET(geosocial.MANETConfig{
 		Nodes: *nodes, Flows: *flows, Duration: *duration, Seed: *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-16s %-10s %-12s %-12s %-10s %-10s\n",
+	fmt.Fprintf(stdout, "%-16s %-10s %-12s %-12s %-10s %-10s\n",
 		"model", "delivery", "changes/min", "availability", "overhead", "avgHops")
 	for _, o := range outs {
 		m := o.Metrics
-		fmt.Printf("%-16s %-10.3f %-12.3f %-12.3f %-10.2f %-10.2f\n",
+		fmt.Fprintf(stdout, "%-16s %-10.3f %-12.3f %-12.3f %-10.2f %-10.2f\n",
 			o.Model,
 			m.DeliveryRatio,
 			stats.Mean(m.RouteChangesPerMin),
@@ -57,4 +87,5 @@ func main() {
 			m.AvgHops,
 		)
 	}
+	return nil
 }

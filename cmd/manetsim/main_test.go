@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+func TestRunReportsPerModelMetrics(t *testing.T) {
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.03), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "primary.json.gz")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// A tiny topology keeps the smoke test to seconds.
+	err = run([]string{
+		"-in", path, "-nodes", "12", "-flows", "3", "-duration", "60", "-workers", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "model") || !strings.Contains(got, "delivery") {
+		t.Errorf("missing metrics header:\n%s", got)
+	}
+	// One row per fitted mobility model (gps, honest-checkin, all-checkin).
+	if lines := strings.Count(strings.TrimSpace(got), "\n"); lines < 3 {
+		t.Errorf("expected >= 3 model rows, got %d lines:\n%s", lines, got)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error when -in is missing")
+	}
+}

@@ -1,0 +1,82 @@
+package geosocial
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestStudyDeterministicAcrossWorkers asserts the end-to-end contract of
+// the parallel pipeline: generation, validation and classification produce
+// byte-identical results at Parallelism 1 (the exact legacy serial path)
+// and Parallelism 8, for multiple seeds and scales.
+func TestStudyDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		seed  uint64
+		scale float64
+	}{
+		{7, 0.03},
+		{42, 0.03},
+		{1001, 0.05},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("seed=%d/scale=%g", c.seed, c.scale), func(t *testing.T) {
+			serial, err := GenerateStudy(StudyConfig{Scale: c.scale, Seed: c.seed, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := GenerateStudy(StudyConfig{Scale: c.scale, Seed: c.seed, Parallelism: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial.Primary, parallel.Primary) {
+				t.Fatal("Primary dataset differs between serial and parallel generation")
+			}
+			if !reflect.DeepEqual(serial.Baseline, parallel.Baseline) {
+				t.Fatal("Baseline dataset differs between serial and parallel generation")
+			}
+
+			sRes, err := serial.Validate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pRes, err := parallel.Validate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sRes.Partition != pRes.Partition {
+				t.Fatalf("partitions differ: serial %+v, parallel %+v",
+					sRes.Partition, pRes.Partition)
+			}
+			if !reflect.DeepEqual(sRes.Outcomes, pRes.Outcomes) {
+				t.Fatal("outcomes differ between serial and parallel validation")
+			}
+			if !reflect.DeepEqual(sRes.Classifications, pRes.Classifications) {
+				t.Fatal("classifications differ between serial and parallel validation")
+			}
+			if !reflect.DeepEqual(sRes.Breakdown(), pRes.Breakdown()) {
+				t.Fatal("taxonomy breakdowns differ between serial and parallel validation")
+			}
+		})
+	}
+}
+
+// TestValidateDatasetWorkersMatchesDefault pins the facade helpers to one
+// another: the default-worker path and an explicit worker count agree.
+func TestValidateDatasetWorkersMatchesDefault(t *testing.T) {
+	s := getStudy(t)
+	def, err := ValidateDataset(s.Primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := ValidateDatasetWorkers(s.Primary, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Partition != one.Partition {
+		t.Fatalf("partitions differ: default %+v, workers=1 %+v", def.Partition, one.Partition)
+	}
+	if !reflect.DeepEqual(def.Classifications, one.Classifications) {
+		t.Fatal("classifications differ between default and workers=1")
+	}
+}

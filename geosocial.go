@@ -36,6 +36,7 @@ import (
 	"geosocial/internal/eval"
 	"geosocial/internal/levy"
 	"geosocial/internal/manet"
+	"geosocial/internal/par"
 	recoverpkg "geosocial/internal/recover"
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
@@ -50,6 +51,13 @@ type StudyConfig struct {
 	Scale float64
 	// Seed makes the whole study reproducible.
 	Seed uint64
+	// Parallelism is the number of workers used by every per-user
+	// pipeline stage (generation, visit detection + matching,
+	// classification). <= 0 selects runtime.GOMAXPROCS(0); 1 runs the
+	// serial path. Results are byte-identical for any value and any
+	// GOMAXPROCS: per-user random streams are split serially before work
+	// fans out, and outcomes land in index-addressed slots.
+	Parallelism int
 }
 
 // Study is a generated (or loaded) pair of datasets.
@@ -69,15 +77,23 @@ func GenerateStudy(cfg StudyConfig) (*Study, error) {
 		return nil, fmt.Errorf("geosocial: negative scale %g", cfg.Scale)
 	}
 	root := rng.New(cfg.Seed)
-	primary, err := synth.Generate(synth.PrimaryConfig().Scale(cfg.Scale), root.Split("primary"))
+	// The per-cohort budget is split so an explicit Parallelism cap bounds
+	// the total worker count across the nested fan-out.
+	primaryCfg := synth.PrimaryConfig().Scale(cfg.Scale)
+	primaryCfg.Parallelism = par.SplitBudget(cfg.Parallelism, 2)
+	baselineCfg := synth.BaselineConfig().Scale(cfg.Scale)
+	baselineCfg.Parallelism = primaryCfg.Parallelism
+	// Split both streams serially so the root stream advances exactly as
+	// the serial path does, then generate the two cohorts concurrently.
+	cfgs := []synth.Config{primaryCfg, baselineCfg}
+	streams := []*rng.Stream{root.Split("primary"), root.Split("baseline")}
+	datasets, err := par.Map(cfg.Parallelism, len(cfgs), func(i int) (*trace.Dataset, error) {
+		return synth.Generate(cfgs[i], streams[i])
+	})
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	baseline, err := synth.Generate(synth.BaselineConfig().Scale(cfg.Scale), root.Split("baseline"))
-	if err != nil {
-		return nil, fmt.Errorf("geosocial: %w", err)
-	}
-	return &Study{Primary: primary, Baseline: baseline, cfg: cfg}, nil
+	return &Study{Primary: datasets[0], Baseline: datasets[1], cfg: cfg}, nil
 }
 
 // LoadDataset reads a dataset saved by Dataset.SaveFile / cmd/geogen.
@@ -95,18 +111,31 @@ type ValidationResult struct {
 }
 
 // Validate runs visit detection, matching and classification on the
-// Primary dataset with the paper's parameters.
+// Primary dataset with the paper's parameters and the study's
+// Parallelism.
 func (s *Study) Validate() (*ValidationResult, error) {
-	return ValidateDataset(s.Primary)
+	return ValidateDatasetWorkers(s.Primary, s.cfg.Parallelism)
 }
 
-// ValidateDataset runs the full validation pipeline on any dataset.
+// ValidateDataset runs the full validation pipeline on any dataset with
+// the default worker count (GOMAXPROCS).
 func ValidateDataset(ds *trace.Dataset) (*ValidationResult, error) {
-	outs, part, err := core.NewValidator().ValidateDataset(ds)
+	return ValidateDatasetWorkers(ds, 0)
+}
+
+// ValidateDatasetWorkers is ValidateDataset with an explicit worker count
+// (<= 0 selects GOMAXPROCS, 1 the serial path). The result is identical
+// for any value.
+func ValidateDatasetWorkers(ds *trace.Dataset, workers int) (*ValidationResult, error) {
+	v := core.NewValidator()
+	v.Parallelism = workers
+	outs, part, err := v.ValidateDataset(ds)
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	cls, err := classify.ClassifyAll(outs, classify.DefaultParams())
+	params := classify.DefaultParams()
+	params.Parallelism = workers
+	cls, err := classify.ClassifyAll(outs, params)
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
@@ -231,27 +260,13 @@ func (s *Study) RunExperiment(id string, w io.Writer) error {
 	return rep.Render(w)
 }
 
-// evalContext adapts the study to the experiment harness.
+// evalContext adapts the study to the experiment harness, validating the
+// Primary and Baseline datasets concurrently.
 func (s *Study) evalContext() (*eval.Context, error) {
-	ctx := &eval.Context{
-		Scale:    s.cfg.Scale,
-		Seed:     s.cfg.Seed,
-		Primary:  s.Primary,
-		Baseline: s.Baseline,
-	}
-	v := core.NewValidator()
-	var err error
-	ctx.PrimaryOuts, ctx.PrimaryPart, err = v.ValidateDataset(s.Primary)
+	ctx, err := eval.NewContextFromDatasets(s.Primary, s.Baseline, s.cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	ctx.BaselineOuts, ctx.BaselinePart, err = v.ValidateDataset(s.Baseline)
-	if err != nil {
-		return nil, fmt.Errorf("geosocial: %w", err)
-	}
-	ctx.Cls, err = classify.ClassifyAll(ctx.PrimaryOuts, classify.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("geosocial: %w", err)
-	}
+	ctx.Scale, ctx.Seed = s.cfg.Scale, s.cfg.Seed
 	return ctx, nil
 }

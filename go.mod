@@ -1,0 +1,3 @@
+module geosocial
+
+go 1.24

@@ -11,6 +11,7 @@ import (
 
 	"geosocial/internal/core"
 	"geosocial/internal/geo"
+	"geosocial/internal/par"
 	"geosocial/internal/trace"
 	"geosocial/internal/visits"
 )
@@ -77,6 +78,10 @@ type Params struct {
 	// SpeedGap is the maximum GPS-fix spacing usable for speed
 	// estimation.
 	SpeedGap time.Duration
+	// Parallelism is the number of workers used by ClassifyAll.
+	// <= 0 selects runtime.GOMAXPROCS(0); 1 runs the serial path. The
+	// classifications are identical for any value.
+	Parallelism int
 }
 
 // MphToMps converts miles per hour to meters per second.
@@ -143,15 +148,8 @@ func ClassifyUser(o core.UserOutcome, p Params) (*Classification, error) {
 	u := o.User
 	cl := &Classification{Kinds: make([]Kind, len(u.Checkins))}
 
-	matched := make(map[int]bool, len(o.Match.Matches))
-	matchedVisits := make(map[int]bool, len(o.Match.Matches))
-	for _, m := range o.Match.Matches {
-		matched[m.CheckinIdx] = true
-		matchedVisits[m.VisitIdx] = true
-	}
-
 	for ci, c := range u.Checkins {
-		if matched[ci] {
+		if o.Match.IsHonest(ci) {
 			cl.Kinds[ci] = Honest
 			continue
 		}
@@ -186,12 +184,8 @@ func ClassifyUser(o core.UserOutcome, p Params) (*Classification, error) {
 // hasStolenVisit reports whether some visit within the α/β window of c
 // was matched to a different checkin.
 func hasStolenVisit(o core.UserOutcome, c trace.Checkin, p Params) bool {
-	matchedVisits := make(map[int]bool, len(o.Match.Matches))
-	for _, m := range o.Match.Matches {
-		matchedVisits[m.VisitIdx] = true
-	}
 	for vi, v := range o.Visits {
-		if !matchedVisits[vi] {
+		if !o.Match.IsVisitMatched(vi) {
 			continue
 		}
 		if geo.Distance(v.Loc, c.Loc) > p.SuperfluousDist {
@@ -246,16 +240,16 @@ func gpsAt(tr trace.GPSTrace, t int64, maxGap time.Duration) (geo.LatLon, bool) 
 }
 
 // ClassifyAll classifies every user outcome and returns parallel slices.
+// Users are classified on p.Parallelism workers into index-addressed
+// slots, so the result is identical for any worker count.
 func ClassifyAll(outs []core.UserOutcome, p Params) ([]*Classification, error) {
-	cls := make([]*Classification, len(outs))
-	for i, o := range outs {
-		c, err := ClassifyUser(o, p)
+	return par.Map(p.Parallelism, len(outs), func(i int) (*Classification, error) {
+		c, err := ClassifyUser(outs[i], p)
 		if err != nil {
-			return nil, fmt.Errorf("classify: user %d: %w", o.User.ID, err)
+			return nil, fmt.Errorf("classify: user %d: %w", outs[i].User.ID, err)
 		}
-		cls[i] = c
-	}
-	return cls, nil
+		return c, nil
+	})
 }
 
 // Totals sums kind counts over a set of classifications.

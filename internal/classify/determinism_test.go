@@ -1,0 +1,67 @@
+package classify
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"geosocial/internal/core"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+// TestClassifyAllDeterministicAcrossWorkers asserts classification is
+// identical at Parallelism 1 and 8 for several seeds.
+func TestClassifyAllDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{2, 42, 777} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.04), rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs, _, err := core.NewValidator().ValidateDataset(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialParams := DefaultParams()
+			serialParams.Parallelism = 1
+			parallelParams := DefaultParams()
+			parallelParams.Parallelism = 8
+
+			serial, err := ClassifyAll(outs, serialParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := ClassifyAll(outs, parallelParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial) != len(parallel) {
+				t.Fatalf("lengths differ: serial %d, parallel %d", len(serial), len(parallel))
+			}
+			for i := range serial {
+				if !reflect.DeepEqual(serial[i], parallel[i]) {
+					t.Fatalf("classification %d differs between serial and parallel", i)
+				}
+			}
+			if !reflect.DeepEqual(Totals(serial), Totals(parallel)) {
+				t.Fatal("totals differ between serial and parallel")
+			}
+		})
+	}
+}
+
+// TestClassifyAllEmpty covers the zero-outcome edge case on both paths.
+func TestClassifyAllEmpty(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		p := DefaultParams()
+		p.Parallelism = workers
+		cls, err := ClassifyAll(nil, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(cls) != 0 {
+			t.Fatalf("workers=%d: got %d classifications for no outcomes", workers, len(cls))
+		}
+	}
+}

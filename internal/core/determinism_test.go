@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+	"geosocial/internal/trace"
+)
+
+// validateBothWays runs ValidateDataset serially and on eight workers and
+// asserts the outcomes and partition are identical.
+func validateBothWays(t *testing.T, ds *trace.Dataset) ([]UserOutcome, Partition) {
+	t.Helper()
+	serial := NewValidator()
+	serial.Parallelism = 1
+	parallel := NewValidator()
+	parallel.Parallelism = 8
+
+	sOuts, sPart, err := serial.ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOuts, pPart, err := parallel.ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sPart != pPart {
+		t.Fatalf("partitions differ: serial %+v, parallel %+v", sPart, pPart)
+	}
+	if len(sOuts) != len(pOuts) {
+		t.Fatalf("outcome counts differ: serial %d, parallel %d", len(sOuts), len(pOuts))
+	}
+	for i := range sOuts {
+		if !reflect.DeepEqual(sOuts[i], pOuts[i]) {
+			t.Fatalf("outcome %d (user %d) differs between serial and parallel",
+				i, sOuts[i].User.ID)
+		}
+	}
+	return sOuts, sPart
+}
+
+// TestValidateDatasetDeterministicAcrossWorkers asserts the §4 pipeline
+// produces identical per-user outcomes and an identical partition at
+// Parallelism 1 and 8, for several seeds and scales.
+func TestValidateDatasetDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		seed  uint64
+		scale float64
+	}{
+		{3, 0.03},
+		{42, 0.03},
+		{1234, 0.06},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("seed=%d/scale=%g", c.seed, c.scale), func(t *testing.T) {
+			ds, err := synth.Generate(synth.PrimaryConfig().Scale(c.scale), rng.New(c.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs, part := validateBothWays(t, ds)
+			if len(outs) != len(ds.Users) {
+				t.Fatalf("got %d outcomes for %d users", len(outs), len(ds.Users))
+			}
+			if part.Checkins == 0 || part.Visits == 0 {
+				t.Fatalf("degenerate partition %+v", part)
+			}
+		})
+	}
+}
+
+// TestValidateDatasetEmpty covers the zero-user edge case on both paths.
+func TestValidateDatasetEmpty(t *testing.T) {
+	outs, part := validateBothWays(t, &trace.Dataset{Name: "empty"})
+	if len(outs) != 0 {
+		t.Fatalf("got %d outcomes for empty dataset", len(outs))
+	}
+	if part != (Partition{}) {
+		t.Fatalf("non-zero partition %+v for empty dataset", part)
+	}
+}
+
+// TestValidateDatasetSingleUserNoCheckins covers a one-user dataset whose
+// user has GPS fixes but zero checkins: every visit must come out missing.
+func TestValidateDatasetSingleUserNoCheckins(t *testing.T) {
+	var gps trace.GPSTrace
+	for m := int64(0); m <= 30; m++ {
+		gps = append(gps, trace.GPSPoint{T: m * 60, Loc: at(3)})
+	}
+	u := &trace.User{ID: 0, Days: 1, GPS: gps}
+	ds := &trace.Dataset{Name: "one-user", Users: []*trace.User{u}}
+	outs, part := validateBothWays(t, ds)
+	if len(outs) != 1 {
+		t.Fatalf("got %d outcomes, want 1", len(outs))
+	}
+	if part.Checkins != 0 || part.Honest != 0 {
+		t.Fatalf("partition %+v, want zero checkins", part)
+	}
+	if part.Visits == 0 || part.Missing != part.Visits {
+		t.Fatalf("partition %+v, want all visits missing", part)
+	}
+	if outs[0].Match.IsHonest(0) {
+		t.Fatal("IsHonest(0) true for a user with no checkins")
+	}
+}

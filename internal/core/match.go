@@ -70,6 +70,12 @@ type Result struct {
 	// MissingIdx lists visit indices not matched by any checkin
 	// ("missing checkins" / unmatched visits).
 	MissingIdx []int
+
+	// honestBits and visitBits are bitmaps over checkin / visit indices,
+	// precomputed by MatchUser so IsHonest and IsVisitMatched are O(1).
+	// Hand-built Results (tests) leave them nil and fall back to a scan.
+	honestBits []bool
+	visitBits  []bool
 }
 
 // Honest returns the number of matched (honest) checkins.
@@ -83,8 +89,24 @@ func (r *Result) Missing() int { return len(r.MissingIdx) }
 
 // IsHonest reports whether checkin index ci was matched.
 func (r *Result) IsHonest(ci int) bool {
+	if r.honestBits != nil {
+		return ci >= 0 && ci < len(r.honestBits) && r.honestBits[ci]
+	}
 	for _, m := range r.Matches {
 		if m.CheckinIdx == ci {
+			return true
+		}
+	}
+	return false
+}
+
+// IsVisitMatched reports whether visit index vi was claimed by a checkin.
+func (r *Result) IsVisitMatched(vi int) bool {
+	if r.visitBits != nil {
+		return vi >= 0 && vi < len(r.visitBits) && r.visitBits[vi]
+	}
+	for _, m := range r.Matches {
+		if m.VisitIdx == vi {
 			return true
 		}
 	}
@@ -173,6 +195,8 @@ func MatchUser(checkins trace.CheckinTrace, vs []trace.Visit, p Params) (*Result
 			res.MissingIdx = append(res.MissingIdx, vi)
 		}
 	}
+	res.honestBits = matchedCheckin
+	res.visitBits = matchedVisit
 	sortMatches(res)
 	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"geosocial/internal/par"
 	"geosocial/internal/trace"
 	"geosocial/internal/visits"
 )
@@ -66,6 +67,11 @@ type Validator struct {
 	// VisitConfig parameterizes stay-point detection
 	// (visits.DefaultConfig when zero).
 	VisitConfig visits.Config
+	// Parallelism is the number of workers used to validate users.
+	// <= 0 selects runtime.GOMAXPROCS(0); 1 runs the serial path. The
+	// outcomes and partition are identical for any value: per-user work is
+	// collected into index-addressed slots and reduced serially.
+	Parallelism int
 }
 
 // NewValidator returns a validator with the paper's parameters.
@@ -88,23 +94,28 @@ func (v *Validator) ValidateDataset(ds *trace.Dataset) ([]UserOutcome, Partition
 	if err != nil {
 		return nil, Partition{}, fmt.Errorf("core: %w", err)
 	}
-	var outs []UserOutcome
-	var part Partition
-	for _, u := range ds.Users {
+	outs, err := par.Map(v.Parallelism, len(ds.Users), func(i int) (UserOutcome, error) {
+		u := ds.Users[i]
 		vs, err := visits.Detect(u.GPS, vcfg, db)
 		if err != nil {
-			return nil, Partition{}, fmt.Errorf("core: user %d: %w", u.ID, err)
+			return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
 		}
 		res, err := MatchUser(u.Checkins, vs, params)
 		if err != nil {
-			return nil, Partition{}, fmt.Errorf("core: user %d: %w", u.ID, err)
+			return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
 		}
-		outs = append(outs, UserOutcome{User: u, Visits: vs, Match: res})
-		part.Checkins += len(u.Checkins)
-		part.Visits += len(vs)
-		part.Honest += res.Honest()
-		part.Extraneous += res.Extraneous()
-		part.Missing += res.Missing()
+		return UserOutcome{User: u, Visits: vs, Match: res}, nil
+	})
+	if err != nil {
+		return nil, Partition{}, err
+	}
+	var part Partition
+	for _, o := range outs {
+		part.Checkins += len(o.User.Checkins)
+		part.Visits += len(o.Visits)
+		part.Honest += o.Match.Honest()
+		part.Extraneous += o.Match.Extraneous()
+		part.Missing += o.Match.Missing()
 	}
 	return outs, part, nil
 }
@@ -127,16 +138,12 @@ func ScoreAgainstTruth(outs []UserOutcome) (TruthScore, error) {
 	var sc TruthScore
 	var matchedHonest, matchedTotal, honestTotal int
 	for _, o := range outs {
-		matched := make(map[int]bool, len(o.Match.Matches))
-		for _, m := range o.Match.Matches {
-			matched[m.CheckinIdx] = true
-		}
 		for ci, c := range o.User.Checkins {
 			if c.Truth == trace.LabelNone {
 				continue
 			}
 			sc.Labeled++
-			isMatched := matched[ci]
+			isMatched := o.Match.IsHonest(ci)
 			wantHonest := c.Truth == trace.LabelHonest
 			if isMatched == wantHonest {
 				sc.Agree++

@@ -5,6 +5,7 @@ import (
 
 	"geosocial/internal/classify"
 	"geosocial/internal/core"
+	"geosocial/internal/par"
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
 	"geosocial/internal/trace"
@@ -31,35 +32,73 @@ type Context struct {
 }
 
 // NewContext generates both datasets at the given scale and runs the full
-// §4–§5 pipeline on them.
+// §4–§5 pipeline on them, with the default worker count (GOMAXPROCS).
 func NewContext(scale float64, seed uint64) (*Context, error) {
+	return NewContextWorkers(scale, seed, 0)
+}
+
+// NewContextWorkers is NewContext with an explicit worker count for every
+// pipeline stage (<= 0 selects GOMAXPROCS, 1 the serial path). The context
+// is identical for any value: random streams are split serially before any
+// fan-out, and the two datasets are validated concurrently but reduced
+// into fixed fields.
+func NewContextWorkers(scale float64, seed uint64, workers int) (*Context, error) {
 	if scale <= 0 {
 		return nil, fmt.Errorf("eval: scale must be positive, got %g", scale)
 	}
-	ctx := &Context{Scale: scale, Seed: seed}
 	root := rng.New(seed)
 
-	var err error
-	ctx.Primary, err = synth.Generate(synth.PrimaryConfig().Scale(scale), root.Split("primary"))
+	primaryCfg := synth.PrimaryConfig().Scale(scale)
+	primaryCfg.Parallelism = workers
+	baselineCfg := synth.BaselineConfig().Scale(scale)
+	baselineCfg.Parallelism = workers
+
+	primary, err := synth.Generate(primaryCfg, root.Split("primary"))
 	if err != nil {
 		return nil, fmt.Errorf("eval: generate primary: %w", err)
 	}
-	ctx.Baseline, err = synth.Generate(synth.BaselineConfig().Scale(scale), root.Split("baseline"))
+	baseline, err := synth.Generate(baselineCfg, root.Split("baseline"))
 	if err != nil {
 		return nil, fmt.Errorf("eval: generate baseline: %w", err)
 	}
+	ctx, err := NewContextFromDatasets(primary, baseline, workers)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Scale, ctx.Seed = scale, seed
+	return ctx, nil
+}
+
+// NewContextFromDatasets runs the shared §4–§5 pipeline (validation of
+// both datasets, classification of the primary) over already-generated
+// datasets. The two datasets are validated concurrently, each with the
+// worker budget split so the total stays within an explicit cap; results
+// are identical for any worker count.
+func NewContextFromDatasets(primary, baseline *trace.Dataset, workers int) (*Context, error) {
+	ctx := &Context{Primary: primary, Baseline: baseline}
 
 	v := core.NewValidator()
-	ctx.PrimaryOuts, ctx.PrimaryPart, err = v.ValidateDataset(ctx.Primary)
+	datasets := []*trace.Dataset{primary, baseline}
+	v.Parallelism = par.SplitBudget(workers, len(datasets))
+	outs := make([][]core.UserOutcome, len(datasets))
+	parts := make([]core.Partition, len(datasets))
+	err := par.ForErr(workers, len(datasets), func(i int) error {
+		var err error
+		outs[i], parts[i], err = v.ValidateDataset(datasets[i])
+		if err != nil {
+			return fmt.Errorf("eval: validate %s: %w", datasets[i].Name, err)
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("eval: validate primary: %w", err)
+		return nil, err
 	}
-	ctx.BaselineOuts, ctx.BaselinePart, err = v.ValidateDataset(ctx.Baseline)
-	if err != nil {
-		return nil, fmt.Errorf("eval: validate baseline: %w", err)
-	}
+	ctx.PrimaryOuts, ctx.PrimaryPart = outs[0], parts[0]
+	ctx.BaselineOuts, ctx.BaselinePart = outs[1], parts[1]
 
-	ctx.Cls, err = classify.ClassifyAll(ctx.PrimaryOuts, classify.DefaultParams())
+	clsParams := classify.DefaultParams()
+	clsParams.Parallelism = workers
+	ctx.Cls, err = classify.ClassifyAll(ctx.PrimaryOuts, clsParams)
 	if err != nil {
 		return nil, fmt.Errorf("eval: classify primary: %w", err)
 	}

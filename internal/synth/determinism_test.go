@@ -1,0 +1,69 @@
+package synth_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+// TestGenerateDeterministicAcrossWorkers asserts the parallel-generation
+// contract: the dataset is byte-identical whether users are generated on
+// one worker or eight, for several seeds and scales.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		seed  uint64
+		scale float64
+	}{
+		{1, 0.03},
+		{42, 0.03},
+		{99, 0.06},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("seed=%d/scale=%g", c.seed, c.scale), func(t *testing.T) {
+			serialCfg := synth.PrimaryConfig().Scale(c.scale)
+			serialCfg.Parallelism = 1
+			parallelCfg := serialCfg
+			parallelCfg.Parallelism = 8
+
+			serial, err := synth.Generate(serialCfg, rng.New(c.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := synth.Generate(parallelCfg, rng.New(c.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial.Users) != len(parallel.Users) {
+				t.Fatalf("user counts differ: serial %d, parallel %d",
+					len(serial.Users), len(parallel.Users))
+			}
+			if !reflect.DeepEqual(serial.POIs, parallel.POIs) {
+				t.Fatal("POIs differ between serial and parallel generation")
+			}
+			for i := range serial.Users {
+				if !reflect.DeepEqual(serial.Users[i], parallel.Users[i]) {
+					t.Fatalf("user %d differs between serial and parallel generation", i)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateSingleUser exercises the smallest possible fan-out.
+func TestGenerateSingleUser(t *testing.T) {
+	cfg := synth.BaselineConfig()
+	cfg.Users = 1
+	for _, workers := range []int{1, 8} {
+		cfg.Parallelism = workers
+		ds, err := synth.Generate(cfg, rng.New(5))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(ds.Users) != 1 {
+			t.Fatalf("workers=%d: got %d users, want 1", workers, len(ds.Users))
+		}
+	}
+}

@@ -4,13 +4,18 @@ import (
 	"fmt"
 
 	"geosocial/internal/geo"
+	"geosocial/internal/par"
 	"geosocial/internal/poi"
 	"geosocial/internal/rng"
 	"geosocial/internal/trace"
 )
 
 // Generate produces a full synthetic dataset from the configuration,
-// deterministically given the stream.
+// deterministically given the stream. Users are generated on
+// cfg.Parallelism workers; the output is byte-identical for any worker
+// count because every user consumes only a pre-split child stream (split
+// serially, in ID order, so the parent stream advances exactly as the
+// serial path would) and lands in an index-addressed slot.
 func Generate(cfg Config, s *rng.Stream) (*trace.Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -20,14 +25,21 @@ func Generate(cfg Config, s *rng.Stream) (*trace.Dataset, error) {
 		return nil, fmt.Errorf("synth: generate city: %w", err)
 	}
 	ds := &trace.Dataset{Name: cfg.Name, POIs: db.All()}
+	streams := make([]*rng.Stream, cfg.Users)
 	for id := 0; id < cfg.Users; id++ {
-		us := s.Split(fmt.Sprintf("user-%d", id))
-		u, err := generateUser(&cfg, db, id, us)
+		streams[id] = s.Split(fmt.Sprintf("user-%d", id))
+	}
+	users, err := par.Map(cfg.Parallelism, cfg.Users, func(id int) (*trace.User, error) {
+		u, err := generateUser(&cfg, db, id, streams[id])
 		if err != nil {
 			return nil, fmt.Errorf("synth: user %d: %w", id, err)
 		}
-		ds.Users = append(ds.Users, u)
+		return u, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	ds.Users = users
 	return ds, nil
 }
 

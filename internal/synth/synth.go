@@ -67,6 +67,11 @@ type Config struct {
 
 	// Incentive configures checkin behaviour.
 	Incentive IncentiveConfig
+
+	// Parallelism is the number of workers used to generate users.
+	// <= 0 selects runtime.GOMAXPROCS(0); 1 runs the serial path. The
+	// generated dataset is identical for any value (see Generate).
+	Parallelism int
 }
 
 // IncentiveConfig controls the checkin behaviour model.
