@@ -390,6 +390,31 @@ func BenchmarkValidatePipelineSerial(b *testing.B) { benchValidate(b, 1) }
 // BenchmarkValidatePipelineParallel runs validation on all cores.
 func BenchmarkValidatePipelineParallel(b *testing.B) { benchValidate(b, runtime.GOMAXPROCS(0)) }
 
+// benchValidateStream measures the bounded-memory streaming path over
+// the same users benchValidate processes in memory; the delta against
+// BenchmarkValidatePipeline* is the cost of the windowed hand-off.
+func benchValidateStream(b *testing.B, workers int) {
+	ctx := ctxForBench(b)
+	db, err := ctx.Primary.DB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := core.NewValidator()
+	v.Parallelism = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.ValidateStream(db, ctx.Primary.Source(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidateStreamSerial pins streaming validation to one worker.
+func BenchmarkValidateStreamSerial(b *testing.B) { benchValidateStream(b, 1) }
+
+// BenchmarkValidateStreamParallel runs streaming validation on all cores.
+func BenchmarkValidateStreamParallel(b *testing.B) { benchValidateStream(b, runtime.GOMAXPROCS(0)) }
+
 // benchClassify measures taxonomy classification over the shared
 // context's outcomes with the given worker count.
 func benchClassify(b *testing.B, workers int) {

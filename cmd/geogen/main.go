@@ -1,14 +1,18 @@
 // Command geogen generates the synthetic study datasets (Primary and
-// Baseline) and writes them as JSON (optionally gzip-compressed).
+// Baseline) and writes them as JSON or binary (optionally
+// gzip-compressed).
 //
 // Usage:
 //
 //	geogen -scale 0.25 -seed 42 -out ./data
-//	geogen -scale 1.0 -workers 8 -out ./data   # generate users on 8 workers
+//	geogen -scale 1.0 -workers 8 -out ./data     # generate users on 8 workers
+//	geogen -scale 1.0 -format binary -out ./data # compact streaming format
 //
-// produces ./data/primary.json.gz and ./data/baseline.json.gz. The
-// -workers flag controls per-user generation parallelism (0 = all cores);
-// output is byte-identical for any worker count.
+// produces ./data/primary.json.gz and ./data/baseline.json.gz (or
+// .bin.gz with -format binary; binary files are smaller, decode faster
+// and can be validated by geovalidate in bounded memory). The -workers
+// flag controls per-user generation parallelism (0 = all cores); output
+// is byte-identical for any worker count.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
+	"geosocial/internal/trace"
 )
 
 // errUsage signals a flag-parse failure the flag package has already
@@ -48,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Uint64("seed", 42, "root RNG seed")
 		outDir  = fs.String("out", ".", "output directory")
 		gz      = fs.Bool("gz", true, "gzip-compress the output")
+		format  = fs.String("format", "json", "dataset encoding: json or binary")
 		dataset = fs.String("dataset", "both", "which dataset to generate: primary, baseline or both")
 		workers = fs.Int("workers", 0, "user-generation workers (0 = all cores, 1 = serial; output is identical)")
 	)
@@ -57,15 +63,23 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return errUsage
 	}
+	var ext string
+	switch *format {
+	case "json":
+		ext = trace.FormatJSON.Ext()
+	case "binary":
+		ext = trace.FormatBinary.Ext()
+	default:
+		return fmt.Errorf("unknown -format %q (json or binary)", *format)
+	}
+	if *gz {
+		ext += ".gz"
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
 	root := rng.New(*seed)
-	ext := ".json"
-	if *gz {
-		ext = ".json.gz"
-	}
 	gen := func(cfg synth.Config) error {
 		cfg.Parallelism = *workers
 		ds, err := synth.Generate(cfg.Scale(*scale), root.Split(cfg.Name))

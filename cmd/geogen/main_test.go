@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"geosocial/internal/trace"
 )
 
 func TestRunGeneratesBothDatasets(t *testing.T) {
@@ -44,5 +46,66 @@ func TestRunSingleDatasetUncompressed(t *testing.T) {
 func TestRunRejectsUnknownDataset(t *testing.T) {
 	if err := run([]string{"-out", t.TempDir(), "-dataset", "bogus"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error for unknown -dataset")
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-seed", "7", "-out", dir, "-dataset", "primary", "-format", "binary"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "primary.bin.gz")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("expected primary.bin.gz: %v", err)
+	}
+	format, err := trace.DetectFormat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if format != trace.FormatBinary {
+		t.Fatalf("detected %v, want binary", format)
+	}
+	// The binary file decodes to the same dataset the JSON path writes
+	// (modulo E7 coordinate quantization, checked via user/checkin
+	// counts).
+	fromBin, err := trace.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonDir := t.TempDir()
+	if err := run([]string{"-scale", "0.02", "-seed", "7", "-out", jsonDir, "-dataset", "primary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := trace.LoadFile(filepath.Join(jsonDir, "primary.json.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromBin.Users) != len(fromJSON.Users) {
+		t.Fatalf("binary has %d users, JSON %d", len(fromBin.Users), len(fromJSON.Users))
+	}
+	for i, u := range fromBin.Users {
+		if len(u.Checkins) != len(fromJSON.Users[i].Checkins) || len(u.GPS) != len(fromJSON.Users[i].GPS) {
+			t.Fatalf("user %d traces differ between formats", i)
+		}
+	}
+	// Binary output is the smaller encoding even under gzip.
+	binInfo, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonInfo, err := os.Stat(filepath.Join(jsonDir, "primary.json.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binInfo.Size() >= jsonInfo.Size() {
+		t.Errorf("binary file %d bytes, JSON %d bytes", binInfo.Size(), jsonInfo.Size())
+	}
+}
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-format", "xml"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for unknown -format")
 	}
 }

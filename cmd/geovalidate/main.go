@@ -6,11 +6,17 @@
 // Usage:
 //
 //	geovalidate -in primary.json.gz
+//	geovalidate -in primary.bin.gz                # binary datasets stream
 //	geovalidate -in primary.json.gz -alpha 250 -beta 15m
-//	geovalidate -in primary.json.gz -workers 8   # validate users on 8 workers
+//	geovalidate -in primary.json.gz -workers 8    # validate users on 8 workers
 //
-// The -workers flag controls per-user pipeline parallelism (0 = all
-// cores); results are identical for any worker count.
+// The dataset encoding (JSON or binary, gzip or not) is detected from
+// magic bytes, not the file name. Binary datasets are validated one user
+// at a time through a bounded in-flight window, so memory stays
+// O(workers) regardless of dataset size; JSON datasets are loaded in
+// memory first. The -workers flag controls per-user pipeline parallelism
+// (0 = all cores); results are identical for any worker count and for
+// the streaming and in-memory paths.
 package main
 
 import (
@@ -25,7 +31,6 @@ import (
 	"geosocial"
 	"geosocial/internal/classify"
 	"geosocial/internal/core"
-	"geosocial/internal/visits"
 )
 
 // errUsage signals a flag-parse failure the flag package has already
@@ -48,7 +53,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geovalidate", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "dataset file (JSON, .gz supported)")
+		in      = fs.String("in", "", "dataset file (JSON or binary, gzip detected by magic)")
 		alpha   = fs.Float64("alpha", 500, "spatial matching threshold in meters")
 		beta    = fs.Duration("beta", 30*time.Minute, "temporal matching threshold")
 		truth   = fs.Bool("truth", true, "score the matcher against ground-truth labels when present")
@@ -63,41 +68,26 @@ func run(args []string, stdout io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("missing -in dataset file (generate one with geogen)")
 	}
-	ds, err := geosocial.LoadDataset(*in)
+	res, err := geosocial.ValidateFileOpts(*in, geosocial.StreamOptions{
+		Params:  core.Params{Alpha: *alpha, Beta: *beta},
+		Workers: *workers,
+	})
 	if err != nil {
 		return err
 	}
 
-	v := &core.Validator{
-		Params:      core.Params{Alpha: *alpha, Beta: *beta},
-		VisitConfig: visits.DefaultConfig(),
-		Parallelism: *workers,
-	}
-	outs, part, err := v.ValidateDataset(ds)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "dataset %q: %d users\n", ds.Name, len(ds.Users))
-	fmt.Fprintf(stdout, "matching (alpha=%.0fm beta=%v): %v\n", *alpha, *beta, part)
+	fmt.Fprintf(stdout, "dataset %q (%s): %d users\n", res.Name, res.Format, res.Users)
+	fmt.Fprintf(stdout, "matching (alpha=%.0fm beta=%v): %v\n", *alpha, *beta, res.Partition)
 
-	clsParams := classify.DefaultParams()
-	clsParams.Parallelism = *workers
-	cls, err := classify.ClassifyAll(outs, clsParams)
-	if err != nil {
-		return err
-	}
-	tot := classify.Totals(cls)
 	fmt.Fprintln(stdout, "checkin taxonomy:")
 	for _, k := range []classify.Kind{classify.Honest, classify.Superfluous, classify.Remote, classify.Driveby, classify.Other} {
-		n := tot[k]
-		fmt.Fprintf(stdout, "  %-12s %6d (%.1f%%)\n", k, n, 100*float64(n)/maxf(float64(part.Checkins), 1))
+		n := res.Taxonomy[k.String()]
+		fmt.Fprintf(stdout, "  %-12s %6d (%.1f%%)\n", k, n, 100*float64(n)/maxf(float64(res.Partition.Checkins), 1))
 	}
 
-	if *truth {
-		if sc, err := core.ScoreAgainstTruth(outs); err == nil {
-			fmt.Fprintf(stdout, "matcher vs ground truth: accuracy %.3f, honest precision %.3f, recall %.3f\n",
-				sc.Accuracy, sc.HonestP, sc.HonestR)
-		}
+	if *truth && res.Truth != nil {
+		fmt.Fprintf(stdout, "matcher vs ground truth: accuracy %.3f, honest precision %.3f, recall %.3f\n",
+			res.Truth.Accuracy, res.Truth.HonestP, res.Truth.HonestR)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
+	"geosocial/internal/trace"
 )
 
 // genDataset writes a tiny primary dataset to a temp file and returns the
@@ -23,6 +24,30 @@ func genDataset(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// genBothFormats writes the same dataset (on the binary codec's E7
+// coordinate grid) as a JSON file and a binary file.
+func genBothFormats(t *testing.T) (jsonPath, binPath string) {
+	t.Helper()
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.02), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath = filepath.Join(dir, "primary.bin.gz")
+	if err := ds.SaveFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	onGrid, err := trace.LoadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath = filepath.Join(dir, "primary.json.gz")
+	if err := onGrid.SaveFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	return jsonPath, binPath
 }
 
 func TestRunReportsPartitionAndTaxonomy(t *testing.T) {
@@ -57,5 +82,36 @@ func TestRunSerialAndParallelReportsIdentical(t *testing.T) {
 func TestRunRequiresInput(t *testing.T) {
 	if err := run(nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error when -in is missing")
+	}
+}
+
+// TestRunBinaryStreamingMatchesJSON runs the tool over the JSON and
+// binary encodings of the same dataset: beyond the header line naming the
+// detected format, the reports must be identical — the streamed binary
+// path computes exactly what the in-memory JSON path does.
+func TestRunBinaryStreamingMatchesJSON(t *testing.T) {
+	jsonPath, binPath := genBothFormats(t)
+	report := func(path string, workers string) (header, body string) {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		i := strings.IndexByte(s, '\n')
+		return s[:i], s[i+1:]
+	}
+	jsonHdr, jsonBody := report(jsonPath, "1")
+	binHdr, binBody := report(binPath, "1")
+	if !strings.Contains(jsonHdr, "(json)") || !strings.Contains(binHdr, "(binary)") {
+		t.Errorf("format not reported: %q / %q", jsonHdr, binHdr)
+	}
+	if jsonBody != binBody {
+		t.Errorf("reports differ between JSON and binary:\n--- json\n%s--- binary\n%s", jsonBody, binBody)
+	}
+	// And the streamed binary path is worker-count invariant too.
+	_, bin8 := report(binPath, "8")
+	if bin8 != binBody {
+		t.Errorf("binary reports differ between -workers 1 and 8:\n--- 1\n%s--- 8\n%s", binBody, bin8)
 	}
 }

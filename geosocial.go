@@ -41,6 +41,7 @@ import (
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
 	"geosocial/internal/trace"
+	"geosocial/internal/visits"
 )
 
 // StudyConfig configures synthetic study generation.
@@ -96,8 +97,125 @@ func GenerateStudy(cfg StudyConfig) (*Study, error) {
 	return &Study{Primary: datasets[0], Baseline: datasets[1], cfg: cfg}, nil
 }
 
-// LoadDataset reads a dataset saved by Dataset.SaveFile / cmd/geogen.
+// LoadDataset reads a dataset saved by Dataset.SaveFile / cmd/geogen into
+// memory. Compression and encoding (JSON or binary) are detected from
+// magic bytes; use ValidateFile to process binary datasets without
+// materializing them.
 func LoadDataset(path string) (*trace.Dataset, error) { return trace.LoadFile(path) }
+
+// StreamOptions tunes ValidateFileOpts. The zero value selects the
+// paper's parameters and the default worker count.
+type StreamOptions struct {
+	// Params are the matching thresholds (core.DefaultParams when zero).
+	Params core.Params
+	// VisitConfig parameterizes stay-point detection
+	// (visits.DefaultConfig when zero).
+	VisitConfig visits.Config
+	// Workers is the per-user pipeline worker count (<= 0 selects
+	// GOMAXPROCS, 1 the serial path; results are identical for any
+	// value).
+	Workers int
+}
+
+// StreamResult is the bounded-memory analogue of ValidationResult: the
+// aggregate outputs of validating a dataset file user by user, without
+// retaining per-user outcomes.
+type StreamResult struct {
+	// Name is the dataset name from the file header.
+	Name string
+	// Format is the detected on-disk encoding of the file.
+	Format trace.Format
+	// Users is the number of users validated.
+	Users int
+	// Partition is the Figure 1 Venn split.
+	Partition core.Partition
+	// Taxonomy holds the §5.1 per-kind checkin counts, keyed like
+	// ValidationResult.Breakdown.
+	Taxonomy map[string]int
+	// Truth scores the matcher against generator ground-truth labels; nil
+	// when the dataset carries none (real data).
+	Truth *core.TruthScore
+}
+
+// ValidateFile runs the full validation pipeline over a dataset file with
+// the paper's parameters and the default worker count. Binary datasets
+// are streamed one user at a time — memory stays O(workers) regardless of
+// dataset size; JSON datasets are loaded in memory first (the document
+// encoding cannot be streamed). The aggregate results are identical to
+// loading the same file and running ValidateDataset.
+func ValidateFile(path string) (*StreamResult, error) { return ValidateFileWorkers(path, 0) }
+
+// ValidateFileWorkers is ValidateFile with an explicit worker count
+// (<= 0 selects GOMAXPROCS, 1 the serial path). The result is identical
+// for any value.
+func ValidateFileWorkers(path string, workers int) (*StreamResult, error) {
+	return ValidateFileOpts(path, StreamOptions{Workers: workers})
+}
+
+// ValidateFileOpts is ValidateFile with explicit matching and visit-
+// detection parameters (cmd/geovalidate's -alpha/-beta flags thread
+// through here).
+//
+// Both pipeline stages — validation (visit detection + matching) and
+// classification — run per user inside the bounded parallel window;
+// the calling goroutine only accumulates aggregates, in stream order.
+func ValidateFileOpts(path string, opts StreamOptions) (*StreamResult, error) {
+	stream, err := trace.OpenStream(path)
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	defer stream.Close()
+	db, err := stream.DB()
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	v := &core.Validator{Params: opts.Params, VisitConfig: opts.VisitConfig}
+	clsParams := classify.DefaultParams()
+
+	res := &StreamResult{
+		Name:     stream.Name,
+		Format:   stream.Format,
+		Taxonomy: make(map[string]int, classify.NumKinds),
+	}
+	var truth core.TruthAccum
+	type outcomeCls struct {
+		out core.UserOutcome
+		cls *classify.Classification
+	}
+	err = par.MapStream(opts.Workers,
+		func() (*trace.User, error) { return stream.Next() },
+		func(_ int, u *trace.User) (outcomeCls, error) {
+			o, err := v.ValidateUser(u, db)
+			if err != nil {
+				return outcomeCls{}, err
+			}
+			cl, err := classify.ClassifyUser(o, clsParams)
+			if err != nil {
+				return outcomeCls{}, fmt.Errorf("classify: user %d: %w", o.User.ID, err)
+			}
+			return outcomeCls{out: o, cls: cl}, nil
+		},
+		func(_ int, oc outcomeCls) error {
+			res.Users++
+			res.Partition.Add(oc.out)
+			for _, k := range oc.cls.Kinds {
+				res.Taxonomy[k.String()]++
+			}
+			truth.Add(oc.out)
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	if truth.Labeled() > 0 {
+		sc, err := truth.Score()
+		if err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		res.Truth = &sc
+	}
+	return res, nil
+}
 
 // ValidationResult is the outcome of the §4 pipeline on one dataset.
 type ValidationResult struct {

@@ -116,50 +116,79 @@ func (r *Result) IsVisitMatched(vi int) bool {
 // MatchUser runs the matching algorithm for one user's checkins against
 // her detected visits. Both inputs must be time-ordered; visits must be
 // non-overlapping (as produced by internal/visits).
+//
+// To rerun matching over the same visits at several parameter settings
+// (the (α, β) sweep), build a VisitIndex once and call its Match method.
 func MatchUser(checkins trace.CheckinTrace, vs []trace.Visit, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{}
 	if len(checkins) == 0 && len(vs) == 0 {
-		return res, nil
+		return &Result{}, nil
 	}
+	return NewVisitIndex(vs, p.Alpha).Match(checkins, p)
+}
 
-	// Spatial index over visit centroids for the α-radius Step 1 lookup.
+// VisitIndex is a reusable spatial index over one user's visit centroids.
+// Building the grid is the dominant fixed cost of MatchUser, so callers
+// that match the same visits repeatedly — the (α, β) consistency sweep —
+// build the index once at the largest α they will query and reuse it:
+// radius queries are exact for any radius, the cell size only tunes scan
+// cost. Match results are identical to MatchUser for any cell size.
+type VisitIndex struct {
+	vs   []trace.Visit
+	grid *geo.GridIndex
+	buf  []int
+}
+
+// NewVisitIndex builds the index with the given grid cell size in meters
+// (values <= 0 default to 500; pass the largest α you will match at).
+func NewVisitIndex(vs []trace.Visit, cellMeters float64) *VisitIndex {
 	pts := make([]geo.LatLon, len(vs))
 	for i, v := range vs {
 		pts[i] = v.Loc
 	}
-	grid := geo.NewGridIndex(pts, p.Alpha)
+	return &VisitIndex{vs: vs, grid: geo.NewGridIndex(pts, cellMeters)}
+}
 
-	// Step 1 + Step 2: provisional best visit per checkin.
+// Match runs the §4.1 matching of checkins against the indexed visits.
+// The index is not safe for concurrent Match calls (it reuses an internal
+// candidate buffer); build one index per goroutine.
+func (ix *VisitIndex) Match(checkins trace.CheckinTrace, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	vs := ix.vs
+	res := &Result{}
+
+	// Step 1 + Step 2: provisional best visit per checkin. Candidate scan
+	// order is whatever the grid yields, so ΔT ties are broken explicitly:
+	// the lowest visit index (the earliest detected visit) wins. The §4.1
+	// text does not specify a tie rule; index order is the deterministic
+	// choice that cannot depend on grid geometry.
 	type claim struct {
 		checkin int
 		deltaT  time.Duration
 		dist    float64
 	}
-	best := make([]int, len(checkins)) // checkin -> visit index or -1
-	claims := make(map[int][]claim)    // visit -> claiming checkins
-	var buf []int
+	claims := make(map[int][]claim) // visit -> claiming checkins
 	for ci, c := range checkins {
-		best[ci] = -1
-		buf = grid.Within(c.Loc, p.Alpha, buf[:0])
+		ix.buf = ix.grid.Within(c.Loc, p.Alpha, ix.buf[:0])
 		bestVisit := -1
-		bestDT := p.Beta
+		bestDT := time.Duration(0)
 		bestDist := 0.0
-		for _, vi := range buf {
+		for _, vi := range ix.buf {
 			dt := vs[vi].DeltaT(c.T)
-			if dt < bestDT || (dt == bestDT && bestVisit == -1) {
-				if dt >= p.Beta {
-					continue
-				}
+			if dt >= p.Beta {
+				continue
+			}
+			if bestVisit < 0 || dt < bestDT || (dt == bestDT && vi < bestVisit) {
 				bestDT = dt
 				bestVisit = vi
 				bestDist = geo.Distance(c.Loc, vs[vi].Loc)
 			}
 		}
 		if bestVisit >= 0 {
-			best[ci] = bestVisit
 			claims[bestVisit] = append(claims[bestVisit], claim{ci, bestDT, bestDist})
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"geosocial/internal/geo"
 	"geosocial/internal/poi"
 	"geosocial/internal/rng"
+	"geosocial/internal/synth"
 	"geosocial/internal/trace"
 )
 
@@ -141,6 +143,72 @@ func TestMatchGeographicTieBreak(t *testing.T) {
 	}
 	if res.Matches[0].CheckinIdx != 0 {
 		t.Fatalf("matched checkin %d, want 0 (geographically closest)", res.Matches[0].CheckinIdx)
+	}
+}
+
+func TestMatchDeltaTTieBreak(t *testing.T) {
+	// Two visits exactly equidistant in time from the checkin (10 min on
+	// each side), both within alpha: the tie must go to the lowest visit
+	// index, not to whichever the spatial index happened to scan first.
+	cks := trace.CheckinTrace{checkin(0, 30)}
+	vs := []trace.Visit{
+		visit(100, 10, 20), // ends 10 min before the checkin
+		visit(200, 40, 50), // starts 10 min after
+	}
+	res := mustMatch(t, cks, vs)
+	if res.Honest() != 1 {
+		t.Fatal("no match")
+	}
+	if res.Matches[0].VisitIdx != 0 {
+		t.Fatalf("tie matched visit %d, want 0 (lowest index)", res.Matches[0].VisitIdx)
+	}
+	// Swapping the visit order flips which stay is index 0; the winner
+	// must follow the index, proving the tie-break is real.
+	swapped := []trace.Visit{vs[1], vs[0]}
+	res = mustMatch(t, cks, swapped)
+	if res.Matches[0].VisitIdx != 0 {
+		t.Fatalf("swapped tie matched visit %d, want 0", res.Matches[0].VisitIdx)
+	}
+	if res.Matches[0].Dist != geo.Distance(cks[0].Loc, swapped[0].Loc) {
+		t.Error("match distance not recomputed for the winning visit")
+	}
+}
+
+// TestVisitIndexMatchesMatchUser pins the reusable index to MatchUser for
+// any grid cell size: radius queries are exact, and the explicit
+// tie-break makes scan order irrelevant, so results must be identical.
+func TestVisitIndexMatchesMatchUser(t *testing.T) {
+	s := rng.New(99)
+	var cks trace.CheckinTrace
+	var vs []trace.Visit
+	var tcur int64
+	for i := 0; i < 80; i++ {
+		tcur += s.Int63n(1500)
+		cks = append(cks, trace.Checkin{T: tcur, Loc: at(s.Range(0, 2500))})
+	}
+	tcur = 0
+	for i := 0; i < 80; i++ {
+		start := tcur + s.Int63n(900)
+		end := start + 360 + s.Int63n(2400)
+		tcur = end
+		vs = append(vs, trace.Visit{Start: start, End: end, Loc: at(s.Range(0, 2500)), POIID: -1})
+	}
+	p := DefaultParams()
+	want, err := MatchUser(cks, vs, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []float64{100, 500, 2000, 10000} {
+		got, err := NewVisitIndex(vs, cell).Match(cks, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cell=%gm: result differs from MatchUser", cell)
+		}
+	}
+	if _, err := NewVisitIndex(vs, 500).Match(cks, Params{}); err == nil {
+		t.Error("invalid params accepted")
 	}
 }
 
@@ -289,6 +357,61 @@ func TestSweepParamsMonotone(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSweepParamsMatchesPerCellMatching pins the grid-reuse optimization:
+// the sweep (one spatial index per user, built at the maximum alpha) must
+// produce exactly the counts of running MatchUser from scratch for every
+// cell.
+func TestSweepParamsMatchesPerCellMatching(t *testing.T) {
+	ds, err := synthDataset(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, _, err := NewValidator().ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphas := []float64{125, 500, 2000}
+	betas := []time.Duration{10 * time.Minute, 30 * time.Minute, time.Hour}
+	pts, err := SweepParams(outs, alphas, betas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(alphas)*len(betas) {
+		t.Fatalf("%d sweep points, want %d", len(pts), len(alphas)*len(betas))
+	}
+	i := 0
+	for _, a := range alphas {
+		for _, b := range betas {
+			if pts[i].Alpha != a || pts[i].Beta != b {
+				t.Fatalf("point %d is (%g, %v), want (%g, %v)", i, pts[i].Alpha, pts[i].Beta, a, b)
+			}
+			honest := 0
+			for _, o := range outs {
+				res, err := MatchUser(o.User.Checkins, o.Visits, Params{Alpha: a, Beta: b})
+				if err != nil {
+					t.Fatal(err)
+				}
+				honest += res.Honest()
+			}
+			if pts[i].Honest != honest {
+				t.Fatalf("sweep(%g, %v) = %d honest, per-cell matching = %d",
+					a, b, pts[i].Honest, honest)
+			}
+			i++
+		}
+	}
+	// Degenerate grids yield no points.
+	if pts, err := SweepParams(outs, nil, betas); err != nil || pts != nil {
+		t.Errorf("empty alphas: %v, %v", pts, err)
+	}
+}
+
+// synthDataset generates a small dataset for sweep tests.
+func synthDataset(t *testing.T) (*trace.Dataset, error) {
+	t.Helper()
+	return synth.Generate(synth.PrimaryConfig().Scale(0.02), rng.New(31))
 }
 
 func TestValidatorPipeline(t *testing.T) {

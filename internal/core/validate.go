@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"geosocial/internal/par"
+	"geosocial/internal/poi"
 	"geosocial/internal/trace"
 	"geosocial/internal/visits"
 )
@@ -79,9 +80,9 @@ func NewValidator() *Validator {
 	return &Validator{Params: DefaultParams(), VisitConfig: visits.DefaultConfig()}
 }
 
-// ValidateDataset runs visit detection and matching for every user and
-// returns the per-user outcomes with the dataset partition.
-func (v *Validator) ValidateDataset(ds *trace.Dataset) ([]UserOutcome, Partition, error) {
+// resolve returns the effective matching and visit-detection parameters,
+// substituting the paper defaults for zero values.
+func (v *Validator) resolve() (Params, visits.Config) {
 	params := v.Params
 	if params == (Params{}) {
 		params = DefaultParams()
@@ -90,34 +91,94 @@ func (v *Validator) ValidateDataset(ds *trace.Dataset) ([]UserOutcome, Partition
 	if vcfg == (visits.Config{}) {
 		vcfg = visits.DefaultConfig()
 	}
+	return params, vcfg
+}
+
+// validateUser runs the §4 pipeline — visit detection then matching —
+// for one user. It is pure: both the in-memory and streaming paths call
+// it, which is what makes their outputs identical.
+func validateUser(u *trace.User, db *poi.DB, params Params, vcfg visits.Config) (UserOutcome, error) {
+	vs, err := visits.Detect(u.GPS, vcfg, db)
+	if err != nil {
+		return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
+	}
+	res, err := MatchUser(u.Checkins, vs, params)
+	if err != nil {
+		return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
+	}
+	return UserOutcome{User: u, Visits: vs, Match: res}, nil
+}
+
+// Add accumulates one user outcome into the partition; summing outcomes
+// in any order yields the dataset-level Figure 1 split.
+func (p *Partition) Add(o UserOutcome) {
+	p.Checkins += len(o.User.Checkins)
+	p.Visits += len(o.Visits)
+	p.Honest += o.Match.Honest()
+	p.Extraneous += o.Match.Extraneous()
+	p.Missing += o.Match.Missing()
+}
+
+// ValidateUser runs the §4 pipeline for one user against a POI database,
+// resolving zero-value validator fields to the paper defaults. It is the
+// per-item building block for custom streaming pipelines; ValidateStream
+// composes it with the bounded fan-out for the common case.
+func (v *Validator) ValidateUser(u *trace.User, db *poi.DB) (UserOutcome, error) {
+	params, vcfg := v.resolve()
+	return validateUser(u, db, params, vcfg)
+}
+
+// ValidateDataset runs visit detection and matching for every user and
+// returns the per-user outcomes with the dataset partition.
+func (v *Validator) ValidateDataset(ds *trace.Dataset) ([]UserOutcome, Partition, error) {
+	params, vcfg := v.resolve()
 	db, err := ds.DB()
 	if err != nil {
 		return nil, Partition{}, fmt.Errorf("core: %w", err)
 	}
 	outs, err := par.Map(v.Parallelism, len(ds.Users), func(i int) (UserOutcome, error) {
-		u := ds.Users[i]
-		vs, err := visits.Detect(u.GPS, vcfg, db)
-		if err != nil {
-			return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
-		}
-		res, err := MatchUser(u.Checkins, vs, params)
-		if err != nil {
-			return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
-		}
-		return UserOutcome{User: u, Visits: vs, Match: res}, nil
+		return validateUser(ds.Users[i], db, params, vcfg)
 	})
 	if err != nil {
 		return nil, Partition{}, err
 	}
 	var part Partition
 	for _, o := range outs {
-		part.Checkins += len(o.User.Checkins)
-		part.Visits += len(o.Visits)
-		part.Honest += o.Match.Honest()
-		part.Extraneous += o.Match.Extraneous()
-		part.Missing += o.Match.Missing()
+		part.Add(o)
 	}
 	return outs, part, nil
+}
+
+// ValidateStream is ValidateDataset over a user stream: it pulls users
+// one at a time from src, validates them on v.Parallelism workers with a
+// bounded in-flight window (memory O(workers), not O(users)), and calls
+// sink — which may be nil — with each outcome strictly in stream order on
+// the calling goroutine. Paired with a trace.StreamReader this validates
+// datasets far larger than memory.
+//
+// The outcomes delivered to sink and the returned partition are identical
+// to ValidateDataset over the same users, for any worker count; see
+// par.MapStream for the scheduling contract. Outcomes are not retained
+// after sink returns, so a sink that needs per-user state must copy it.
+func (v *Validator) ValidateStream(db *poi.DB, src trace.UserSource, sink func(UserOutcome) error) (Partition, error) {
+	params, vcfg := v.resolve()
+	var part Partition
+	err := par.MapStream(v.Parallelism,
+		func() (*trace.User, error) { return src.Next() },
+		func(_ int, u *trace.User) (UserOutcome, error) {
+			return validateUser(u, db, params, vcfg)
+		},
+		func(_ int, o UserOutcome) error {
+			part.Add(o)
+			if sink != nil {
+				return sink(o)
+			}
+			return nil
+		})
+	if err != nil {
+		return Partition{}, err
+	}
+	return part, nil
 }
 
 // TruthScore compares the matcher's honest/extraneous split against the
@@ -131,45 +192,67 @@ type TruthScore struct {
 	HonestR  float64 // recall of LabelHonest checkins into the matched set
 }
 
+// TruthAccum incrementally builds a TruthScore from a stream of user
+// outcomes: Add each outcome as it arrives (O(1) state), then Score. It
+// is the streaming-friendly core of ScoreAgainstTruth.
+type TruthAccum struct {
+	labeled, agree                           int
+	matchedHonest, matchedTotal, honestTotal int
+}
+
+// Add accumulates one user's labeled checkins.
+func (a *TruthAccum) Add(o UserOutcome) {
+	for ci, c := range o.User.Checkins {
+		if c.Truth == trace.LabelNone {
+			continue
+		}
+		a.labeled++
+		isMatched := o.Match.IsHonest(ci)
+		wantHonest := c.Truth == trace.LabelHonest
+		if isMatched == wantHonest {
+			a.agree++
+		}
+		if isMatched {
+			a.matchedTotal++
+			if wantHonest {
+				a.matchedHonest++
+			}
+		}
+		if wantHonest {
+			a.honestTotal++
+		}
+	}
+}
+
+// Labeled returns the number of labeled checkins seen so far.
+func (a *TruthAccum) Labeled() int { return a.labeled }
+
+// Score finalizes the accumulated counts. It returns an error when no
+// checkin carried a label (real data).
+func (a *TruthAccum) Score() (TruthScore, error) {
+	sc := TruthScore{Labeled: a.labeled, Agree: a.agree}
+	if a.labeled == 0 {
+		return sc, fmt.Errorf("core: no ground-truth labels present")
+	}
+	sc.Accuracy = float64(a.agree) / float64(a.labeled)
+	if a.matchedTotal > 0 {
+		sc.HonestP = float64(a.matchedHonest) / float64(a.matchedTotal)
+	}
+	if a.honestTotal > 0 {
+		sc.HonestR = float64(a.matchedHonest) / float64(a.honestTotal)
+	}
+	return sc, nil
+}
+
 // ScoreAgainstTruth computes matcher-vs-ground-truth agreement over the
 // outcomes. It returns an error when no checkin carries a label (real
 // data).
 func ScoreAgainstTruth(outs []UserOutcome) (TruthScore, error) {
-	var sc TruthScore
-	var matchedHonest, matchedTotal, honestTotal int
+	var a TruthAccum
 	for _, o := range outs {
-		for ci, c := range o.User.Checkins {
-			if c.Truth == trace.LabelNone {
-				continue
-			}
-			sc.Labeled++
-			isMatched := o.Match.IsHonest(ci)
-			wantHonest := c.Truth == trace.LabelHonest
-			if isMatched == wantHonest {
-				sc.Agree++
-			}
-			if isMatched {
-				matchedTotal++
-				if wantHonest {
-					matchedHonest++
-				}
-			}
-			if wantHonest {
-				honestTotal++
-			}
-		}
+		a.Add(o)
 	}
-	if sc.Labeled == 0 {
-		return sc, fmt.Errorf("core: no ground-truth labels present")
-	}
-	sc.Accuracy = float64(sc.Agree) / float64(sc.Labeled)
-	if matchedTotal > 0 {
-		sc.HonestP = float64(matchedHonest) / float64(matchedTotal)
-	}
-	if honestTotal > 0 {
-		sc.HonestR = float64(matchedHonest) / float64(honestTotal)
-	}
-	return sc, nil
+	return a.Score()
 }
 
 // SweepPoint is one cell of the (α, β) consistency sweep.
@@ -183,20 +266,39 @@ type SweepPoint struct {
 // the honest-checkin count at each point. The paper's §4.1 claim — that
 // results are "most consistent" around 500 m / 30 min — corresponds to
 // the count surface flattening there; the ablation bench regenerates it.
+//
+// Each user's spatial index is built once, at the largest α in the grid,
+// and reused across every sweep cell — rebuilding it per (α, β, user)
+// made the sweep O(cells × users) grid constructions for identical
+// geometry. Radius queries are exact for any radius, so the counts are
+// identical to matching each cell from scratch.
 func SweepParams(outs []UserOutcome, alphas []float64, betas []time.Duration) ([]SweepPoint, error) {
-	var pts []SweepPoint
-	for _, a := range alphas {
-		for _, b := range betas {
-			p := Params{Alpha: a, Beta: b}
-			honest := 0
-			for _, o := range outs {
-				res, err := MatchUser(o.User.Checkins, o.Visits, p)
+	if len(alphas) == 0 || len(betas) == 0 {
+		return nil, nil
+	}
+	maxAlpha := alphas[0]
+	for _, a := range alphas[1:] {
+		if a > maxAlpha {
+			maxAlpha = a
+		}
+	}
+	honest := make([]int, len(alphas)*len(betas))
+	for _, o := range outs {
+		ix := NewVisitIndex(o.Visits, maxAlpha)
+		for ai, a := range alphas {
+			for bi, b := range betas {
+				res, err := ix.Match(o.User.Checkins, Params{Alpha: a, Beta: b})
 				if err != nil {
 					return nil, err
 				}
-				honest += res.Honest()
+				honest[ai*len(betas)+bi] += res.Honest()
 			}
-			pts = append(pts, SweepPoint{Alpha: a, Beta: b, Honest: honest})
+		}
+	}
+	pts := make([]SweepPoint, 0, len(honest))
+	for ai, a := range alphas {
+		for bi, b := range betas {
+			pts = append(pts, SweepPoint{Alpha: a, Beta: b, Honest: honest[ai*len(betas)+bi]})
 		}
 	}
 	return pts, nil

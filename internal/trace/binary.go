@@ -1,0 +1,630 @@
+package trace
+
+// Binary dataset codec ("GSB1"): a compact streaming on-disk format for
+// trace datasets. Unlike the JSON codec, which materializes the whole
+// dataset before the first user can be validated, the binary format is a
+// sequence of independently decodable per-user frames behind a small
+// header, so readers and writers hold O(1 user) in memory regardless of
+// dataset size.
+//
+// Layout (all integers are varints unless noted):
+//
+//	magic      4 bytes "GSB1"
+//	version    uvarint (currently 1)
+//	name       string (uvarint length + UTF-8 bytes)
+//	poi count  uvarint
+//	POI table  per POI: name, category (zigzag), lat/lon (zigzag E7),
+//	           popularity (8-byte LE float64)
+//	frames     per user: uvarint payload length (> 0), then the payload
+//	sentinel   uvarint 0
+//	trailer    uvarint user count (cross-checked by the reader)
+//
+// User frame payload:
+//
+//	id         zigzag varint
+//	days       8-byte LE float64
+//	profile    friends/badges/mayors (zigzag), checkins-per-day (float64)
+//	gps        uvarint count; first fix time as zigzag varint, then
+//	           uvarint deltas (fixes are time-ordered); lat/lon as zigzag
+//	           E7 deltas from the previous fix (spatial coherence keeps
+//	           them small); indoor flag byte
+//	checkins   uvarint count; times delta-encoded like GPS; POI ID
+//	           (uvarint), claimed name, category (zigzag), lat/lon
+//	           (zigzag E7, absolute), truth label (enum, or enum escape +
+//	           string for unknown labels)
+//
+// Coordinates are stored as fixed-point E7 integers (1e-7 degrees,
+// ~1.1 cm of latitude) — far below GPS noise and the paper's 500 m
+// matching threshold. Encoding therefore quantizes: a dataset round-
+// tripped through the binary codec once is on the E7 grid and from then
+// on round-trips exactly (through both the binary and JSON codecs).
+// Timestamps, counts and float64 statistics are preserved exactly.
+//
+// Writers validate as they encode and readers validate as they decode
+// (trace invariants, duplicate user IDs, checkin POI references), so a
+// successfully decoded stream satisfies the same invariants Dataset.
+// Validate enforces on the JSON path.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/poi"
+)
+
+// binaryMagic identifies the binary dataset format ("GeoSocial Binary").
+var binaryMagic = [4]byte{'G', 'S', 'B', '1'}
+
+// binaryVersion is the current header version.
+const binaryVersion = 1
+
+const (
+	// coordScale converts degrees to fixed-point E7 ticks.
+	coordScale = 1e7
+	// maxFrameBytes caps a single user frame so a corrupt length prefix
+	// cannot trigger a multi-gigabyte allocation.
+	maxFrameBytes = 1 << 30
+	// maxStringBytes caps an encoded string for the same reason.
+	maxStringBytes = 1 << 20
+	// allocHint caps speculative slice preallocation from untrusted
+	// counts; slices grow past it by appending.
+	allocHint = 1 << 16
+)
+
+// labelTable enumerates the known ground-truth labels; the index is the
+// wire encoding. Unknown labels are written as len(labelTable) + string.
+var labelTable = [...]Label{
+	LabelNone, LabelHonest, LabelSuperfluous, LabelRemote, LabelDriveby, LabelOther,
+}
+
+func toE7(deg float64) int64 { return int64(math.Round(deg * coordScale)) }
+func fromE7(v int64) float64 { return float64(v) / coordScale }
+
+// --- encoding helpers ---
+
+// frameEnc accumulates one frame's payload in memory (frames are
+// length-prefixed, so the size must be known before the first byte is
+// written to the stream).
+type frameEnc struct{ buf []byte }
+
+func (e *frameEnc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *frameEnc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *frameEnc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+func (e *frameEnc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *frameEnc) byte(b byte) { e.buf = append(e.buf, b) }
+
+func (e *frameEnc) latlon(p geo.LatLon) {
+	e.varint(toE7(p.Lat))
+	e.varint(toE7(p.Lon))
+}
+
+func (e *frameEnc) label(l Label) {
+	for i, known := range labelTable {
+		if l == known {
+			e.uvarint(uint64(i))
+			return
+		}
+	}
+	e.uvarint(uint64(len(labelTable)))
+	e.str(string(l))
+}
+
+// --- decoding helpers ---
+
+// frameDec decodes one frame payload with a sticky error, so call sites
+// stay linear and check failure once.
+type frameDec struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *frameDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *frameDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("trace: binary frame: bad uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *frameDec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("trace: binary frame: bad varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *frameDec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.data) {
+		d.fail("trace: binary frame: truncated float at offset %d", d.pos)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *frameDec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringBytes {
+		d.fail("trace: binary frame: string length %d exceeds limit", n)
+		return ""
+	}
+	if d.pos+int(n) > len(d.data) {
+		d.fail("trace: binary frame: truncated string at offset %d", d.pos)
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *frameDec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		d.fail("trace: binary frame: truncated byte at offset %d", d.pos)
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *frameDec) latlon() geo.LatLon {
+	lat := d.varint()
+	lon := d.varint()
+	return geo.LatLon{Lat: fromE7(lat), Lon: fromE7(lon)}
+}
+
+func (d *frameDec) label() Label {
+	idx := d.uvarint()
+	if d.err != nil {
+		return LabelNone
+	}
+	if idx < uint64(len(labelTable)) {
+		return labelTable[idx]
+	}
+	if idx == uint64(len(labelTable)) {
+		return Label(d.str())
+	}
+	d.fail("trace: binary frame: bad label code %d", idx)
+	return LabelNone
+}
+
+// --- stream writer ---
+
+// StreamWriter writes a binary dataset one user at a time, holding only
+// the current user in memory. The header (name + POI table) is written
+// up front; Close writes the end-of-stream sentinel and trailer. The
+// writer validates each user (trace invariants, unique IDs, known
+// checkin POIs) before encoding it, so a completed stream always decodes
+// cleanly.
+//
+// The writer does not close or flush the underlying io.Writer beyond its
+// own buffering; callers own gzip wrapping and file lifecycle.
+type StreamWriter struct {
+	w       *bufio.Writer
+	scratch frameEnc
+	seen    map[int]struct{}
+	numPOIs int
+	users   uint64
+	closed  bool
+}
+
+// NewStreamWriter validates the POI table and writes the stream header.
+func NewStreamWriter(w io.Writer, name string, pois []poi.POI) (*StreamWriter, error) {
+	if _, err := poi.NewDB(pois); err != nil {
+		return nil, fmt.Errorf("trace: write binary: %w", err)
+	}
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriterSize(w, 1<<16)
+	}
+	sw := &StreamWriter{
+		w:       bw,
+		seen:    make(map[int]struct{}),
+		numPOIs: len(pois),
+	}
+	if _, err := sw.w.Write(binaryMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write binary header: %w", err)
+	}
+	var hdr frameEnc
+	hdr.uvarint(binaryVersion)
+	hdr.str(name)
+	hdr.uvarint(uint64(len(pois)))
+	for _, p := range pois {
+		hdr.str(p.Name)
+		hdr.varint(int64(p.Category))
+		hdr.latlon(p.Loc)
+		hdr.f64(p.Popularity)
+	}
+	if _, err := sw.w.Write(hdr.buf); err != nil {
+		return nil, fmt.Errorf("trace: write binary header: %w", err)
+	}
+	return sw, nil
+}
+
+// WriteUser validates and appends one user frame.
+func (sw *StreamWriter) WriteUser(u *User) error {
+	if sw.closed {
+		return fmt.Errorf("trace: write binary: writer closed")
+	}
+	if err := u.Validate(); err != nil {
+		return fmt.Errorf("trace: write binary: %w", err)
+	}
+	if _, dup := sw.seen[u.ID]; dup {
+		return fmt.Errorf("trace: write binary: duplicate user ID %d", u.ID)
+	}
+	if err := u.validateRefs(sw.numPOIs); err != nil {
+		return fmt.Errorf("trace: write binary: %w", err)
+	}
+
+	e := &sw.scratch
+	e.buf = e.buf[:0]
+	e.varint(int64(u.ID))
+	e.f64(u.Days)
+	e.varint(int64(u.Profile.Friends))
+	e.varint(int64(u.Profile.Badges))
+	e.varint(int64(u.Profile.Mayors))
+	e.f64(u.Profile.CheckinsPerDay)
+
+	e.uvarint(uint64(len(u.GPS)))
+	var prevT int64
+	var prevLat, prevLon int64
+	for i, p := range u.GPS {
+		if i == 0 {
+			e.varint(p.T)
+		} else {
+			e.uvarint(uint64(p.T - prevT)) // Validate guarantees non-decreasing
+		}
+		prevT = p.T
+		lat, lon := toE7(p.Loc.Lat), toE7(p.Loc.Lon)
+		e.varint(lat - prevLat)
+		e.varint(lon - prevLon)
+		prevLat, prevLon = lat, lon
+		if p.Indoor {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+	}
+
+	e.uvarint(uint64(len(u.Checkins)))
+	prevT = 0
+	for i, c := range u.Checkins {
+		if i == 0 {
+			e.varint(c.T)
+		} else {
+			e.uvarint(uint64(c.T - prevT))
+		}
+		prevT = c.T
+		e.uvarint(uint64(c.POIID))
+		e.str(c.POIName)
+		e.varint(int64(c.Category))
+		e.latlon(c.Loc)
+		e.label(c.Truth)
+	}
+
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(e.buf)))
+	if _, err := sw.w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("trace: write binary frame: %w", err)
+	}
+	if _, err := sw.w.Write(e.buf); err != nil {
+		return fmt.Errorf("trace: write binary frame: %w", err)
+	}
+	sw.seen[u.ID] = struct{}{}
+	sw.users++
+	return nil
+}
+
+// Close writes the end-of-stream sentinel and user-count trailer and
+// flushes the writer's buffer. It does not close the underlying writer.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	var tail frameEnc
+	tail.uvarint(0) // sentinel: no more frames
+	tail.uvarint(sw.users)
+	if _, err := sw.w.Write(tail.buf); err != nil {
+		return fmt.Errorf("trace: write binary trailer: %w", err)
+	}
+	if err := sw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: write binary trailer: %w", err)
+	}
+	return nil
+}
+
+// --- stream reader ---
+
+// StreamReader reads a binary dataset one user at a time, holding only
+// the current frame in memory. The header (name + POI table) is decoded
+// and validated by NewStreamReader; Next yields validated users and
+// io.EOF after the trailer has been verified.
+//
+// The reader tracks seen user IDs to reject duplicates — an O(users)
+// integer set, the only per-user state it keeps.
+type StreamReader struct {
+	r     *bufio.Reader
+	name  string
+	pois  []poi.POI
+	seen  map[int]struct{}
+	frame []byte
+	users uint64
+	done  bool
+}
+
+// NewStreamReader decodes and validates the stream header. The reader
+// expects uncompressed bytes; callers own gzip unwrapping (OpenStream
+// does both).
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read binary header: %w", noEOF(err))
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: not a binary dataset (magic %q)", magic[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read binary header: %w", noEOF(err))
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported binary version %d (have %d)", version, binaryVersion)
+	}
+	sr := &StreamReader{r: br, seen: make(map[int]struct{})}
+	if sr.name, err = readString(br); err != nil {
+		return nil, fmt.Errorf("trace: read binary header: %w", err)
+	}
+	nPOIs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read binary header: %w", noEOF(err))
+	}
+	sr.pois = make([]poi.POI, 0, min(nPOIs, allocHint))
+	for i := uint64(0); i < nPOIs; i++ {
+		p := poi.POI{ID: int(i)}
+		if p.Name, err = readString(br); err != nil {
+			return nil, fmt.Errorf("trace: read POI %d: %w", i, err)
+		}
+		cat, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read POI %d: %w", i, noEOF(err))
+		}
+		p.Category = poi.Category(cat)
+		lat, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read POI %d: %w", i, noEOF(err))
+		}
+		lon, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read POI %d: %w", i, noEOF(err))
+		}
+		p.Loc = geo.LatLon{Lat: fromE7(lat), Lon: fromE7(lon)}
+		var popBits [8]byte
+		if _, err := io.ReadFull(br, popBits[:]); err != nil {
+			return nil, fmt.Errorf("trace: read POI %d: %w", i, noEOF(err))
+		}
+		p.Popularity = math.Float64frombits(binary.LittleEndian.Uint64(popBits[:]))
+		sr.pois = append(sr.pois, p)
+	}
+	if _, err := poi.NewDB(sr.pois); err != nil {
+		return nil, fmt.Errorf("trace: invalid POI table: %w", err)
+	}
+	return sr, nil
+}
+
+// Name returns the dataset name from the header.
+func (sr *StreamReader) Name() string { return sr.name }
+
+// POIs returns the decoded POI table. The slice is owned by the reader;
+// callers must not mutate it.
+func (sr *StreamReader) POIs() []poi.POI { return sr.pois }
+
+// Next decodes, validates and returns the next user, or io.EOF once the
+// end-of-stream trailer has been read and verified. A truncated or
+// corrupt stream yields a non-EOF error, never a silently short dataset.
+func (sr *StreamReader) Next() (*User, error) {
+	if sr.done {
+		return nil, io.EOF
+	}
+	frameLen, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read binary frame: %w", noEOF(err))
+	}
+	if frameLen == 0 {
+		// Sentinel: verify the trailer then report a clean end.
+		count, err := binary.ReadUvarint(sr.r)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read binary trailer: %w", noEOF(err))
+		}
+		if count != sr.users {
+			return nil, fmt.Errorf("trace: binary trailer user count %d, decoded %d", count, sr.users)
+		}
+		sr.done = true
+		return nil, io.EOF
+	}
+	if frameLen > maxFrameBytes {
+		return nil, fmt.Errorf("trace: binary frame length %d exceeds limit", frameLen)
+	}
+	if uint64(cap(sr.frame)) < frameLen {
+		sr.frame = make([]byte, frameLen)
+	}
+	sr.frame = sr.frame[:frameLen]
+	if _, err := io.ReadFull(sr.r, sr.frame); err != nil {
+		return nil, fmt.Errorf("trace: read binary frame: %w", noEOF(err))
+	}
+
+	d := frameDec{data: sr.frame}
+	u := &User{}
+	u.ID = int(d.varint())
+	u.Days = d.f64()
+	u.Profile.Friends = int(d.varint())
+	u.Profile.Badges = int(d.varint())
+	u.Profile.Mayors = int(d.varint())
+	u.Profile.CheckinsPerDay = d.f64()
+
+	nGPS := d.uvarint()
+	if d.err == nil {
+		u.GPS = make(GPSTrace, 0, min(nGPS, allocHint))
+	}
+	var t int64
+	var lat, lon int64
+	for i := uint64(0); i < nGPS && d.err == nil; i++ {
+		if i == 0 {
+			t = d.varint()
+		} else {
+			t += int64(d.uvarint())
+		}
+		lat += d.varint()
+		lon += d.varint()
+		indoor := d.byte()
+		u.GPS = append(u.GPS, GPSPoint{
+			T:      t,
+			Loc:    geo.LatLon{Lat: fromE7(lat), Lon: fromE7(lon)},
+			Indoor: indoor != 0,
+		})
+	}
+
+	nCk := d.uvarint()
+	if d.err == nil {
+		u.Checkins = make(CheckinTrace, 0, min(nCk, allocHint))
+	}
+	t = 0
+	for i := uint64(0); i < nCk && d.err == nil; i++ {
+		if i == 0 {
+			t = d.varint()
+		} else {
+			t += int64(d.uvarint())
+		}
+		c := Checkin{T: t}
+		c.POIID = int(d.uvarint())
+		c.POIName = d.str()
+		c.Category = poi.Category(d.varint())
+		c.Loc = d.latlon()
+		c.Truth = d.label()
+		u.Checkins = append(u.Checkins, c)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("trace: binary frame for user %d has %d trailing bytes", u.ID, len(d.data)-d.pos)
+	}
+
+	if err := u.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: invalid dataset: %w", err)
+	}
+	if _, dup := sr.seen[u.ID]; dup {
+		return nil, fmt.Errorf("trace: invalid dataset: duplicate user ID %d", u.ID)
+	}
+	if err := u.validateRefs(len(sr.pois)); err != nil {
+		return nil, fmt.Errorf("trace: invalid dataset: %w", err)
+	}
+	sr.seen[u.ID] = struct{}{}
+	sr.users++
+	return u, nil
+}
+
+// readString reads a uvarint-prefixed string from a header stream.
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", noEOF(err)
+	}
+	if n > maxStringBytes {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", noEOF(err)
+	}
+	return string(buf), nil
+}
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a header
+// or frame, running out of bytes is truncation, not a clean end, and must
+// never be mistaken for the iterator's end-of-stream signal.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// --- whole-dataset convenience ---
+
+// WriteBinary encodes the dataset in the binary format. The dataset is
+// validated as a side effect (the writer checks every user); coordinates
+// are quantized to the E7 grid (see the package comment above).
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	sw, err := NewStreamWriter(w, d.Name, d.POIs)
+	if err != nil {
+		return err
+	}
+	for _, u := range d.Users {
+		if err := sw.WriteUser(u); err != nil {
+			return err
+		}
+	}
+	return sw.Close()
+}
+
+// ReadBinary decodes a complete binary dataset into memory. Prefer
+// NewStreamReader (or OpenStream) when per-user streaming suffices.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{Name: sr.Name(), POIs: sr.POIs()}
+	for {
+		u, err := sr.Next()
+		if err == io.EOF {
+			return d, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.Users = append(d.Users, u)
+	}
+}

@@ -7,8 +7,54 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+
+	"geosocial/internal/poi"
 )
+
+// Format identifies an on-disk dataset encoding.
+type Format int
+
+// Supported dataset file formats.
+const (
+	// FormatJSON is the original single-document JSON encoding.
+	FormatJSON Format = iota
+	// FormatBinary is the streaming binary encoding (see binary.go).
+	FormatBinary
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Ext returns the conventional file extension for the format (without
+// compression suffix): ".json" or ".bin".
+func (f Format) Ext() string {
+	if f == FormatBinary {
+		return ".bin"
+	}
+	return ".json"
+}
+
+// formatForPath selects the save encoding from the path suffix: ".bin"
+// (optionally ".bin.gz") means binary, everything else JSON. Loading
+// never trusts the suffix — LoadFile and OpenStream sniff magic bytes.
+func formatForPath(path string) Format {
+	p := strings.TrimSuffix(path, ".gz")
+	if strings.HasSuffix(p, ".bin") {
+		return FormatBinary
+	}
+	return FormatJSON
+}
 
 // WriteJSON encodes the dataset as JSON to w.
 func (d *Dataset) WriteJSON(w io.Writer) error {
@@ -32,51 +78,230 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 	return &d, nil
 }
 
-// SaveFile writes the dataset to path as JSON, gzip-compressed when the
-// path ends in ".gz".
+// SaveFile writes the dataset to path, gzip-compressed when the path ends
+// in ".gz" and binary-encoded when the (uncompressed) suffix is ".bin"
+// (JSON otherwise). The write is atomic: bytes go to a temporary file in
+// the same directory which is renamed over path only after a successful
+// flush, so a crash or write error mid-save never leaves a truncated
+// dataset at the destination.
 func (d *Dataset) SaveFile(path string) (err error) {
-	f, err := os.Create(path)
+	f, err := createTemp(path)
 	if err != nil {
 		return fmt.Errorf("trace: save dataset: %w", err)
 	}
+	tmp := f.Name()
 	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = fmt.Errorf("trace: save dataset: %w", cerr)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
 		}
 	}()
+
 	var w io.Writer = f
+	var gz *gzip.Writer
 	if strings.HasSuffix(path, ".gz") {
-		gz := gzip.NewWriter(f)
-		defer func() {
-			if cerr := gz.Close(); cerr != nil && err == nil {
-				err = fmt.Errorf("trace: save dataset: %w", cerr)
-			}
-		}()
+		gz = gzip.NewWriter(f)
 		w = gz
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if err := d.WriteJSON(bw); err != nil {
+	if formatForPath(path) == FormatBinary {
+		err = d.WriteBinary(bw)
+	} else {
+		err = d.WriteJSON(bw)
+	}
+	if err != nil {
 		return err
 	}
-	return bw.Flush()
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("trace: save dataset: %w", err)
+	}
+	if gz != nil {
+		if err = gz.Close(); err != nil {
+			return fmt.Errorf("trace: save dataset: %w", err)
+		}
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("trace: save dataset: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("trace: save dataset: %w", err)
+	}
+	return nil
 }
 
-// LoadFile reads a dataset from a JSON file (gzip-compressed when the path
-// ends in ".gz") and validates it.
+// createTemp opens an exclusive temporary file next to path for an
+// atomic save. Unlike os.CreateTemp it opens with mode 0666, so the
+// process umask applies exactly as it would to a plain os.Create — a
+// restrictive umask keeps the saved dataset private.
+func createTemp(path string) (*os.File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	pid := os.Getpid()
+	for attempt := 0; ; attempt++ {
+		name := filepath.Join(dir, fmt.Sprintf("%s.tmp-%d-%d", base, pid, attempt))
+		f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+		if err == nil {
+			return f, nil
+		}
+		if !os.IsExist(err) || attempt >= 100 {
+			return nil, err
+		}
+	}
+}
+
+// sniffReader detects gzip by magic bytes (regardless of file suffix) and
+// returns a buffered reader over the uncompressed stream plus a closer
+// for the gzip layer (nil when not compressed).
+func sniffReader(r io.Reader) (*bufio.Reader, io.Closer, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr, err := br.Peek(2)
+	if err == nil && hdr[0] == 0x1f && hdr[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bufio.NewReaderSize(gz, 1<<16), gz, nil
+	}
+	return br, nil, nil
+}
+
+// isBinary reports whether the buffered stream starts with the binary
+// dataset magic.
+func isBinary(br *bufio.Reader) bool {
+	hdr, err := br.Peek(len(binaryMagic))
+	return err == nil && [4]byte(hdr) == binaryMagic
+}
+
+// DetectFormat sniffs a dataset file's encoding from its magic bytes
+// (transparently looking through gzip); the file suffix is ignored.
+func DetectFormat(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatJSON, fmt.Errorf("trace: detect format: %w", err)
+	}
+	defer f.Close()
+	br, gz, err := sniffReader(f)
+	if err != nil {
+		return FormatJSON, fmt.Errorf("trace: detect format: %w", err)
+	}
+	if gz != nil {
+		defer gz.Close()
+	}
+	if isBinary(br) {
+		return FormatBinary, nil
+	}
+	// "Not binary" must mean readable non-binary bytes, not a read
+	// failure: an empty or unreadable file is an error, never "JSON".
+	if _, err := br.Peek(1); err != nil {
+		return FormatJSON, fmt.Errorf("trace: detect format: %w", noEOF(err))
+	}
+	return FormatJSON, nil
+}
+
+// LoadFile reads a dataset from a file in either format and validates
+// it. Compression and encoding are detected from magic bytes, not the
+// file name. The whole dataset is materialized in memory; use OpenStream
+// for bounded-memory access to binary files.
 func LoadFile(path string) (*Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: load dataset: %w", err)
 	}
 	defer f.Close()
-	var r io.Reader = f
-	if strings.HasSuffix(path, ".gz") {
-		gz, err := gzip.NewReader(f)
-		if err != nil {
-			return nil, fmt.Errorf("trace: load dataset: %w", err)
-		}
-		defer gz.Close()
-		r = gz
+	br, gz, err := sniffReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load dataset: %w", err)
 	}
-	return ReadJSON(r)
+	if gz != nil {
+		defer gz.Close()
+	}
+	if isBinary(br) {
+		return ReadBinary(br)
+	}
+	return ReadJSON(br)
+}
+
+// DatasetStream is a read handle over a dataset file: the header data
+// (name, POI table) plus a UserSource over its users. For binary files
+// users are decoded one frame at a time — memory stays O(1 user); for
+// JSON files the document model forces a full in-memory load and the
+// stream merely iterates it. Close releases the underlying file.
+type DatasetStream struct {
+	// Name is the dataset name from the file header.
+	Name string
+	// POIs is the venue table the users' checkins refer to.
+	POIs []poi.POI
+	// Format is the detected on-disk encoding.
+	Format Format
+
+	src     UserSource
+	closers []io.Closer
+}
+
+// Next yields the next user, or io.EOF after the last one.
+func (s *DatasetStream) Next() (*User, error) { return s.src.Next() }
+
+// DB builds the POI database for the stream's venue table.
+func (s *DatasetStream) DB() (*poi.DB, error) { return poi.NewDB(s.POIs) }
+
+// Close releases the stream's file handles. Safe to call more than once.
+func (s *DatasetStream) Close() error {
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closers = nil
+	return first
+}
+
+// OpenStream opens a dataset file for per-user iteration, sniffing
+// compression and encoding from magic bytes. Callers must Close the
+// returned stream.
+func OpenStream(path string) (*DatasetStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open dataset: %w", err)
+	}
+	br, gz, err := sniffReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: open dataset: %w", err)
+	}
+	closers := []io.Closer{f}
+	if gz != nil {
+		closers = []io.Closer{gz, f}
+	}
+	if isBinary(br) {
+		sr, err := NewStreamReader(br)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, err
+		}
+		return &DatasetStream{
+			Name:    sr.Name(),
+			POIs:    sr.POIs(),
+			Format:  FormatBinary,
+			src:     sr,
+			closers: closers,
+		}, nil
+	}
+	ds, err := ReadJSON(br)
+	for _, c := range closers {
+		c.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DatasetStream{
+		Name:   ds.Name,
+		POIs:   ds.POIs,
+		Format: FormatJSON,
+		src:    ds.Source(),
+	}, nil
 }

@@ -12,6 +12,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"time"
 
@@ -209,6 +210,18 @@ func (u *User) Validate() error {
 	return nil
 }
 
+// validateRefs checks that every checkin claims a POI that exists in a
+// table of numPOIs entries (IDs equal indices, as poi.NewDB enforces).
+func (u *User) validateRefs(numPOIs int) error {
+	for i, c := range u.Checkins {
+		if c.POIID < 0 || c.POIID >= numPOIs {
+			return fmt.Errorf("user %d: checkin %d claims unknown POI %d (table has %d)",
+				u.ID, i, c.POIID, numPOIs)
+		}
+	}
+	return nil
+}
+
 // Dataset is a full study dataset: a POI database plus per-user paired
 // traces (and, once detected, visits).
 type Dataset struct {
@@ -223,18 +236,54 @@ type Dataset struct {
 // ErrEmptyDataset is returned when an operation requires at least one user.
 var ErrEmptyDataset = errors.New("trace: empty dataset")
 
-// Validate checks every user and the POI table.
+// Validate checks every user and the POI table. Beyond per-trace
+// invariants it enforces the dataset-level ones: user IDs must be unique
+// (Summarize keys visit counts by ID, so duplicates would silently merge
+// rows) and every checkin must claim a POI that exists in the table.
 func (d *Dataset) Validate() error {
 	if _, err := poi.NewDB(d.POIs); err != nil {
 		return err
 	}
+	seen := make(map[int]struct{}, len(d.Users))
 	for _, u := range d.Users {
+		if _, dup := seen[u.ID]; dup {
+			return fmt.Errorf("trace: duplicate user ID %d", u.ID)
+		}
+		seen[u.ID] = struct{}{}
 		if err := u.Validate(); err != nil {
+			return err
+		}
+		if err := u.validateRefs(len(d.POIs)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// UserSource yields a dataset's users one at a time: Next returns io.EOF
+// after the last user. It is the seam between the codecs (in-memory
+// datasets, binary stream readers) and bounded-memory consumers.
+type UserSource interface {
+	Next() (*User, error)
+}
+
+// sliceSource adapts an in-memory user slice to UserSource.
+type sliceSource struct {
+	users []*User
+	pos   int
+}
+
+func (s *sliceSource) Next() (*User, error) {
+	if s.pos >= len(s.users) {
+		return nil, io.EOF
+	}
+	u := s.users[s.pos]
+	s.pos++
+	return u, nil
+}
+
+// Source returns a UserSource over the in-memory users.
+func (d *Dataset) Source() UserSource { return &sliceSource{users: d.Users} }
 
 // DB builds the POI database for the dataset.
 func (d *Dataset) DB() (*poi.DB, error) { return poi.NewDB(d.POIs) }

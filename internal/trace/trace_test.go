@@ -2,7 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"math"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -137,6 +140,33 @@ func TestDatasetValidate(t *testing.T) {
 	}
 }
 
+func TestDatasetValidateRejectsDuplicateUserIDs(t *testing.T) {
+	// Duplicate IDs would silently merge Summarize's per-ID visit counts.
+	bad := testDataset()
+	bad.Users[1].ID = bad.Users[0].ID
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("duplicate user IDs accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate user ID") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestDatasetValidateRejectsUnknownPOI(t *testing.T) {
+	for _, poiID := range []int{-1, 2, 99} {
+		bad := testDataset()
+		bad.Users[0].Checkins[0].POIID = poiID
+		err := bad.Validate()
+		if err == nil {
+			t.Fatalf("checkin claiming POI %d accepted (table has 2)", poiID)
+		}
+		if !strings.Contains(err.Error(), "unknown POI") {
+			t.Errorf("unhelpful error for POI %d: %v", poiID, err)
+		}
+	}
+}
+
 func TestDatasetSummarize(t *testing.T) {
 	ds := testDataset()
 	sum := ds.Summarize(map[int]int{0: 4, 1: 2})
@@ -212,6 +242,65 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing file load succeeded")
+	}
+}
+
+// TestSaveFileAtomic pins the crash-safety contract: a save that fails
+// mid-encode must leave the previous file at the destination untouched
+// and no temporary files behind.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.json")
+	if err := testDataset().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// NaN is unencodable in JSON, so this save fails after the temp file
+	// has been created and partially written.
+	bad := testDataset()
+	bad.Users[0].Days = math.NaN()
+	if err := bad.SaveFile(path); err == nil {
+		t.Fatal("NaN dataset saved without error")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("destination gone after failed save: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed save corrupted the destination file")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ds.json" {
+			t.Errorf("leftover file %q after saves", e.Name())
+		}
+	}
+
+	// A failed binary save behaves the same: unknown POI reference.
+	badBin := testDataset()
+	badBin.Users[0].Checkins[0].POIID = 99
+	binPath := filepath.Join(dir, "ds.bin")
+	if err := testDataset().SaveFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	beforeBin, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := badBin.SaveFile(binPath); err == nil {
+		t.Fatal("invalid dataset saved as binary without error")
+	}
+	afterBin, err := os.ReadFile(binPath)
+	if err != nil || !bytes.Equal(beforeBin, afterBin) {
+		t.Error("failed binary save corrupted the destination file")
 	}
 }
 
