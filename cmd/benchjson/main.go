@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// document, so CI can archive benchmark results as machine-readable
+// perf-trajectory artifacts (BENCH_*.json) instead of log lines.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ValidateShards -benchtime 1x . | benchjson -o BENCH_shards.json
+//	benchjson bench.txt                    # read a saved log, write stdout
+//
+// Each benchmark line becomes one record: the benchmark name (with the
+// -cpu suffix split off), iteration count, ns/op, and every extra
+// metric the benchmark reported (MB/s, B/op, allocs/op, custom
+// b.ReportMetric units) keyed by unit. Non-benchmark lines are ignored,
+// so the tool can eat a whole `go test` transcript.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name, e.g. "BenchmarkValidateShards/shards=4".
+	Name string `json:"name"`
+	// CPUs is the GOMAXPROCS suffix ("-8") if present, else 0.
+	CPUs int `json:"cpus,omitempty"`
+	// Iterations is the b.N the measurement ran at.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline latency metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "<value> <unit>" pair on the line,
+	// keyed by unit (e.g. "MB/s", "allocs/op", "users/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args: zero or one input path (default
+// stdin), -o for the output path (default stdout).
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+
+	results, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Parse extracts every benchmark result line from a `go test -bench`
+// transcript.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine parses one "BenchmarkX-8  N  v ns/op  v unit ..." line.
+// Anything that does not look like a benchmark line reports !ok.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0]}
+	// Split a trailing GOMAXPROCS suffix: "Name/case-8" -> "Name/case".
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if cpus, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.CPUs = res.Name[:i], cpus
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+	// The rest of the line is "<value> <unit>" pairs.
+	pairs := fields[2:]
+	if len(pairs)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		v, err := strconv.ParseFloat(pairs[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := pairs[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = v
+	}
+	return res, true
+}

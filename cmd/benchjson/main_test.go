@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// transcript is a realistic `go test -bench` log: noise lines, sub-
+// benchmarks, extra metrics, and allocation counters.
+const transcript = `goos: linux
+goarch: amd64
+pkg: geosocial
+cpu: Some CPU @ 2.80GHz
+BenchmarkValidateShards/file-8         	       3	 425051612 ns/op	        94.00 users/s
+BenchmarkValidateShards/shards=4-8     	       3	 130804269 ns/op	       305.0 users/s
+BenchmarkCodecDecodeBinary-8           	     100	  12345678 ns/op	 512.34 MB/s	 1024 B/op	      17 allocs/op
+PASS
+ok  	geosocial	12.345s
+`
+
+func TestParseTranscript(t *testing.T) {
+	results, err := Parse(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	first := results[0]
+	if first.Name != "BenchmarkValidateShards/file" || first.CPUs != 8 {
+		t.Errorf("first record name/cpus = %q/%d", first.Name, first.CPUs)
+	}
+	if first.Iterations != 3 || first.NsPerOp != 425051612 {
+		t.Errorf("first record timing = %d iters, %g ns/op", first.Iterations, first.NsPerOp)
+	}
+	if first.Metrics["users/s"] != 94 {
+		t.Errorf("first record users/s = %g, want 94", first.Metrics["users/s"])
+	}
+	third := results[2]
+	if third.Metrics["MB/s"] != 512.34 || third.Metrics["allocs/op"] != 17 {
+		t.Errorf("third record metrics = %v", third.Metrics)
+	}
+}
+
+func TestRunStdinToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run([]string{"-o", out}, strings.NewReader(transcript), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(raw, &results); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("round-tripped %d results, want 3", len(results))
+	}
+}
+
+func TestRunFileArgToStdout(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(in, []byte(transcript), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{in}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"BenchmarkValidateShards/shards=4"`) {
+		t.Errorf("stdout JSON missing sub-benchmark name:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

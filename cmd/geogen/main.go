@@ -5,14 +5,18 @@
 // Usage:
 //
 //	geogen -scale 0.25 -seed 42 -out ./data
-//	geogen -scale 1.0 -workers 8 -out ./data     # generate users on 8 workers
-//	geogen -scale 1.0 -format binary -out ./data # compact streaming format
+//	geogen -scale 1.0 -workers 8 -out ./data          # generate users on 8 workers
+//	geogen -scale 1.0 -format binary -out ./data      # compact streaming format
+//	geogen -format binary -shards 8 -out ./data       # sharded corpus + manifest
 //
 // produces ./data/primary.json.gz and ./data/baseline.json.gz (or
 // .bin.gz with -format binary; binary files are smaller, decode faster
-// and can be validated by geovalidate in bounded memory). The -workers
-// flag controls per-user generation parallelism (0 = all cores); output
-// is byte-identical for any worker count.
+// and can be validated by geovalidate in bounded memory). With
+// -shards N each dataset becomes N size-balanced binary shard files
+// plus a "<name>.manifest.json" that geovalidate reads to validate the
+// shards concurrently. The -workers flag controls per-user generation
+// parallelism (0 = all cores); output is byte-identical for any worker
+// or shard count.
 package main
 
 import (
@@ -56,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		format  = fs.String("format", "json", "dataset encoding: json or binary")
 		dataset = fs.String("dataset", "both", "which dataset to generate: primary, baseline or both")
 		workers = fs.Int("workers", 0, "user-generation workers (0 = all cores, 1 = serial; output is identical)")
+		shards  = fs.Int("shards", 0, "split each dataset into N binary shard files plus a manifest (requires -format binary)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,6 +80,12 @@ func run(args []string, stdout io.Writer) error {
 	if *gz {
 		ext += ".gz"
 	}
+	if *shards < 0 {
+		return fmt.Errorf("negative -shards %d", *shards)
+	}
+	if *shards > 0 && *format != "binary" {
+		return fmt.Errorf("-shards writes binary shard files; pass -format binary")
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -86,11 +97,20 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		sum := ds.Summarize(nil)
+		if *shards > 0 {
+			manifest, err := ds.SaveShards(*outDir, trace.ShardOptions{Shards: *shards, Compress: *gz})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%s: %d users, %d checkins, %d GPS points -> %d shards, %s\n",
+				cfg.Name, sum.Users, sum.Checkins, sum.GPSPoints, *shards, manifest)
+			return nil
+		}
 		path := filepath.Join(*outDir, cfg.Name+ext)
 		if err := ds.SaveFile(path); err != nil {
 			return err
 		}
-		sum := ds.Summarize(nil)
 		fmt.Fprintf(stdout, "%s: %d users, %d checkins, %d GPS points -> %s\n",
 			cfg.Name, sum.Users, sum.Checkins, sum.GPSPoints, path)
 		return nil

@@ -109,3 +109,55 @@ func TestRunRejectsUnknownFormat(t *testing.T) {
 		t.Fatal("expected error for unknown -format")
 	}
 }
+
+func TestRunShardedCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-seed", "7", "-out", dir,
+		"-dataset", "primary", "-format", "binary", "-shards", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "primary"+trace.ManifestSuffix)
+	ss, err := trace.OpenShardSet(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Manifest.Shards) != 3 {
+		t.Fatalf("manifest lists %d shards, want 3", len(ss.Manifest.Shards))
+	}
+	for _, info := range ss.Manifest.Shards {
+		if !strings.HasSuffix(info.File, ".bin.gz") { // -gz defaults on
+			t.Errorf("shard file %q not gzip binary", info.File)
+		}
+		if _, err := os.Stat(filepath.Join(dir, info.File)); err != nil {
+			t.Errorf("shard file missing: %v", err)
+		}
+	}
+	if !strings.Contains(out.String(), "3 shards") || !strings.Contains(out.String(), manifest) {
+		t.Errorf("report does not mention the shard set:\n%s", out.String())
+	}
+	// The sharded corpus holds the same users as the single-file output
+	// of the same seed.
+	single := t.TempDir()
+	if err := run([]string{"-scale", "0.02", "-seed", "7", "-out", single,
+		"-dataset", "primary", "-format", "binary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.LoadFile(filepath.Join(single, "primary.bin.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Manifest.Users != len(ds.Users) {
+		t.Errorf("shard set has %d users, single file %d", ss.Manifest.Users, len(ds.Users))
+	}
+}
+
+func TestRunShardsRequireBinaryFormat(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-shards", "2"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("sharded JSON output accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-format", "binary", "-shards", "-1"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}

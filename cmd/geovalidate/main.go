@@ -7,19 +7,28 @@
 //
 //	geovalidate -in primary.json.gz
 //	geovalidate -in primary.bin.gz                # binary datasets stream
+//	geovalidate -in primary.manifest.json         # sharded corpus, shards in parallel
+//	geovalidate -in ./data                        # directory with one manifest
 //	geovalidate -in primary.json.gz -alpha 250 -beta 15m
 //	geovalidate -in primary.json.gz -workers 8    # validate users on 8 workers
+//	geovalidate -in primary.bin.gz -json          # machine-readable StreamResult
 //
 // The dataset encoding (JSON or binary, gzip or not) is detected from
-// magic bytes, not the file name. Binary datasets are validated one user
-// at a time through a bounded in-flight window, so memory stays
+// magic bytes, not the file name. Binary datasets are validated one
+// user at a time through a bounded in-flight window — raw frames are
+// fetched sequentially and decoded on the worker pool — so memory stays
 // O(workers) regardless of dataset size; JSON datasets are loaded in
-// memory first. The -workers flag controls per-user pipeline parallelism
-// (0 = all cores); results are identical for any worker count and for
-// the streaming and in-memory paths.
+// memory first. When -in names a shard-set manifest (or a directory
+// holding one), the shards are read concurrently and validated as one
+// corpus; the report is identical to validating the equivalent single
+// file and adds a per-shard line (or, with -json, per-shard stats).
+// The -workers flag controls per-user pipeline parallelism (0 = all
+// cores); results are identical for any worker count and for the
+// streaming and in-memory paths.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,11 +62,12 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geovalidate", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "dataset file (JSON or binary, gzip detected by magic)")
+		in      = fs.String("in", "", "dataset file, shard manifest, or directory holding one manifest")
 		alpha   = fs.Float64("alpha", 500, "spatial matching threshold in meters")
 		beta    = fs.Duration("beta", 30*time.Minute, "temporal matching threshold")
 		truth   = fs.Bool("truth", true, "score the matcher against ground-truth labels when present")
 		workers = fs.Int("workers", 0, "per-user pipeline workers (0 = all cores, 1 = serial; results are identical)")
+		asJSON  = fs.Bool("json", false, "emit the full StreamResult as JSON instead of the text report")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -75,6 +85,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if !*truth {
+		res.Truth = nil
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
 
 	fmt.Fprintf(stdout, "dataset %q (%s): %d users\n", res.Name, res.Format, res.Users)
 	fmt.Fprintf(stdout, "matching (alpha=%.0fm beta=%v): %v\n", *alpha, *beta, res.Partition)
@@ -85,9 +104,14 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  %-12s %6d (%.1f%%)\n", k, n, 100*float64(n)/maxf(float64(res.Partition.Checkins), 1))
 	}
 
-	if *truth && res.Truth != nil {
+	if res.Truth != nil {
 		fmt.Fprintf(stdout, "matcher vs ground truth: accuracy %.3f, honest precision %.3f, recall %.3f\n",
 			res.Truth.Accuracy, res.Truth.HonestP, res.Truth.HonestR)
+	}
+
+	for _, st := range res.Shards {
+		fmt.Fprintf(stdout, "shard %s: %d users, honest=%d extraneous=%d missing=%d\n",
+			st.Path, st.Users, st.Partition.Honest, st.Partition.Extraneous, st.Partition.Missing)
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -82,6 +84,99 @@ func TestRunSerialAndParallelReportsIdentical(t *testing.T) {
 func TestRunRequiresInput(t *testing.T) {
 	if err := run(nil, &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error when -in is missing")
+	}
+}
+
+// genShardSet writes the same dataset as a single binary file and as a
+// 3-shard corpus, returning both paths.
+func genShardSet(t *testing.T) (binPath, manifestPath string) {
+	t.Helper()
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.02), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath = filepath.Join(dir, "primary.bin.gz")
+	if err := ds.SaveFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := t.TempDir()
+	manifestPath, err = ds.SaveShards(shardDir, trace.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binPath, manifestPath
+}
+
+// TestRunShardSetMatchesSingleFile validates the same corpus through a
+// single file, a manifest, and the manifest's directory: everything but
+// the per-shard trailer lines must be identical.
+func TestRunShardSetMatchesSingleFile(t *testing.T) {
+	binPath, manifestPath := genShardSet(t)
+	report := func(path string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-workers", "4"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	stripShards := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "shard ") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	single := report(binPath)
+	fromManifest := report(manifestPath)
+	fromDir := report(filepath.Dir(manifestPath))
+	if !strings.Contains(fromManifest, "shard primary-0000.bin") {
+		t.Errorf("sharded report missing per-shard lines:\n%s", fromManifest)
+	}
+	if got := stripShards(fromManifest); got != single {
+		t.Errorf("sharded report differs from single file:\n--- single\n%s--- sharded\n%s", single, got)
+	}
+	if fromDir != fromManifest {
+		t.Errorf("directory input differs from manifest input:\n--- dir\n%s--- manifest\n%s", fromDir, fromManifest)
+	}
+}
+
+// TestRunJSONOutput checks the -json report is valid JSON carrying the
+// same aggregates as the text report, including per-shard stats for a
+// sharded input.
+func TestRunJSONOutput(t *testing.T) {
+	binPath, manifestPath := genShardSet(t)
+	decode := func(path string) map[string]any {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-json"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+			t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+		}
+		return doc
+	}
+	single := decode(binPath)
+	sharded := decode(manifestPath)
+	if single["name"] != "primary" || single["format"] != "binary" {
+		t.Errorf("single-file JSON header fields: %v %v", single["name"], single["format"])
+	}
+	if _, ok := single["shards"]; ok {
+		t.Error("single-file JSON carries per-shard stats")
+	}
+	shards, ok := sharded["shards"].([]any)
+	if !ok || len(shards) != 3 {
+		t.Fatalf("sharded JSON shards = %v, want 3 entries", sharded["shards"])
+	}
+	for _, key := range []string{"users", "partition", "taxonomy", "truth"} {
+		if !reflect.DeepEqual(single[key], sharded[key]) {
+			t.Errorf("JSON %q differs between single and sharded input:\n%v\n%v", key, single[key], sharded[key])
+		}
 	}
 }
 

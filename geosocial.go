@@ -28,6 +28,8 @@ package geosocial
 import (
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"time"
 
 	"geosocial/internal/classify"
@@ -37,6 +39,7 @@ import (
 	"geosocial/internal/levy"
 	"geosocial/internal/manet"
 	"geosocial/internal/par"
+	"geosocial/internal/poi"
 	recoverpkg "geosocial/internal/recover"
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
@@ -118,31 +121,56 @@ type StreamOptions struct {
 }
 
 // StreamResult is the bounded-memory analogue of ValidationResult: the
-// aggregate outputs of validating a dataset file user by user, without
-// retaining per-user outcomes.
+// aggregate outputs of validating a dataset file (or sharded corpus)
+// user by user, without retaining per-user outcomes. The whole struct
+// marshals to JSON (geovalidate -json).
 type StreamResult struct {
-	// Name is the dataset name from the file header.
-	Name string
-	// Format is the detected on-disk encoding of the file.
-	Format trace.Format
+	// Name is the dataset name from the file header (or manifest).
+	Name string `json:"name"`
+	// Format is the detected on-disk encoding of the input.
+	Format trace.Format `json:"format"`
 	// Users is the number of users validated.
-	Users int
+	Users int `json:"users"`
 	// Partition is the Figure 1 Venn split.
-	Partition core.Partition
+	Partition core.Partition `json:"partition"`
 	// Taxonomy holds the §5.1 per-kind checkin counts, keyed like
 	// ValidationResult.Breakdown.
-	Taxonomy map[string]int
+	Taxonomy map[string]int `json:"taxonomy"`
 	// Truth scores the matcher against generator ground-truth labels; nil
 	// when the dataset carries none (real data).
-	Truth *core.TruthScore
+	Truth *core.TruthScore `json:"truth,omitempty"`
+	// Shards holds per-input statistics when the input was a shard set
+	// (or an explicit path list); nil for a plain single file. The
+	// aggregate fields above never depend on how the corpus was split.
+	Shards []ShardStat `json:"shards,omitempty"`
 }
 
-// ValidateFile runs the full validation pipeline over a dataset file with
-// the paper's parameters and the default worker count. Binary datasets
-// are streamed one user at a time — memory stays O(workers) regardless of
-// dataset size; JSON datasets are loaded in memory first (the document
-// encoding cannot be streamed). The aggregate results are identical to
-// loading the same file and running ValidateDataset.
+// ShardStat describes one input stream of a multi-file validation run.
+type ShardStat struct {
+	// Path names the input (shard file name from the manifest, or the
+	// caller-supplied path).
+	Path string `json:"path"`
+	// Users is the number of users this input contributed.
+	Users int `json:"users"`
+	// Partition is this input's share of the Figure 1 split.
+	Partition core.Partition `json:"partition"`
+}
+
+// ValidateFile runs the full validation pipeline over a dataset file
+// with the paper's parameters and the default worker count. The path
+// may also name a shard-set manifest ("*.manifest.json") or a directory
+// containing exactly one — the shards are then read concurrently and
+// validated as one corpus with an aggregate result byte-identical to
+// validating the equivalent single file.
+//
+// Binary inputs are streamed: raw frames are fetched sequentially per
+// file and decoded + validated on the worker pool, so in-flight users
+// stay O(workers + shards) regardless of corpus size (the only
+// per-user state retained is the integer duplicate-ID set, as in
+// trace.StreamReader). JSON datasets are loaded in memory first (the
+// document encoding cannot be streamed).
+// The aggregate results are identical to loading the same users and
+// running ValidateDataset.
 func ValidateFile(path string) (*StreamResult, error) { return ValidateFileWorkers(path, 0) }
 
 // ValidateFileWorkers is ValidateFile with an explicit worker count
@@ -156,10 +184,15 @@ func ValidateFileWorkers(path string, workers int) (*StreamResult, error) {
 // detection parameters (cmd/geovalidate's -alpha/-beta flags thread
 // through here).
 //
-// Both pipeline stages — validation (visit detection + matching) and
-// classification — run per user inside the bounded parallel window;
-// the calling goroutine only accumulates aggregates, in stream order.
+// All CPU-heavy per-user stages — frame decode, validation (visit
+// detection + matching) and classification — run inside the bounded
+// parallel window on the worker pool; the calling goroutine only
+// fetches raw frames and accumulates aggregates, in stream order.
 func ValidateFileOpts(path string, opts StreamOptions) (*StreamResult, error) {
+	if info, err := os.Stat(path); err == nil &&
+		(info.IsDir() || strings.HasSuffix(path, trace.ManifestSuffix)) {
+		return validateShardSet(path, opts)
+	}
 	stream, err := trace.OpenStream(path)
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
@@ -169,22 +202,133 @@ func ValidateFileOpts(path string, opts StreamOptions) (*StreamResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
+	res, err := validateSources(stream.Name, db, []trace.FrameSource{stream.Frames()}, []string{path}, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Format = stream.Format
+	res.Shards = nil // a plain file is not a shard set
+	return res, nil
+}
+
+// ValidatePaths validates several dataset files as one corpus: every
+// file must carry the same dataset name and an identical POI table
+// (compared by checksum), user IDs must be unique across the whole set,
+// and the aggregate result is byte-identical to validating one file
+// holding all the users. Files are read concurrently and decoded on the
+// shared worker pool; JSON and binary inputs can be mixed.
+func ValidatePaths(paths []string, opts StreamOptions) (*StreamResult, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("geosocial: no dataset paths")
+	}
+	streams := make([]*trace.DatasetStream, len(paths))
+	defer func() {
+		for _, s := range streams {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+	srcs := make([]trace.FrameSource, len(paths))
+	var refSum string
+	for i, p := range paths {
+		s, err := trace.OpenStream(p)
+		if err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		streams[i] = s
+		if i == 0 {
+			refSum = trace.POIChecksum(s.POIs)
+		}
+		if s.Name != streams[0].Name {
+			return nil, fmt.Errorf("geosocial: %s holds dataset %q, %s holds %q",
+				p, s.Name, paths[0], streams[0].Name)
+		}
+		if trace.POIChecksum(s.POIs) != refSum {
+			return nil, fmt.Errorf("geosocial: %s and %s carry different POI tables", paths[0], p)
+		}
+		srcs[i] = s.Frames()
+	}
+	db, err := streams[0].DB()
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	res, err := validateSources(streams[0].Name, db, srcs, paths, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Format = streams[0].Format
+	return res, nil
+}
+
+// validateShardSet validates a manifest-described sharded corpus.
+func validateShardSet(path string, opts StreamOptions) (*StreamResult, error) {
+	ss, err := trace.OpenShardSet(path)
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	k := len(ss.Manifest.Shards)
+	readers := make([]*trace.ShardReader, k)
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	srcs := make([]trace.FrameSource, k)
+	labels := make([]string, k)
+	for i := 0; i < k; i++ {
+		r, err := ss.OpenShard(i)
+		if err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		readers[i], srcs[i], labels[i] = r, r, ss.Manifest.Shards[i].File
+	}
+	db, err := poi.NewDB(readers[0].POIs())
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	res, err := validateSources(ss.Manifest.Name, db, srcs, labels, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Format = trace.FormatBinary
+	return res, nil
+}
+
+// validateSources is the shared multi-source validation engine behind
+// ValidateFileOpts, ValidatePaths and validateShardSet: fetch raw
+// frames per source, run decode + validate + classify per user on the
+// worker pool (par.MergeStreams), accumulate per-source statistics in
+// the deterministic merged order, and merge them in source order. The
+// aggregates are sums of per-user integer counts, so they are identical
+// to single-stream validation of the same users for any worker count
+// and any way of splitting the corpus.
+func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels []string, opts StreamOptions) (*StreamResult, error) {
 	v := &core.Validator{Params: opts.Params, VisitConfig: opts.VisitConfig}
 	clsParams := classify.DefaultParams()
-
-	res := &StreamResult{
-		Name:     stream.Name,
-		Format:   stream.Format,
-		Taxonomy: make(map[string]int, classify.NumKinds),
+	res := &StreamResult{Name: name, Taxonomy: make(map[string]int, classify.NumKinds)}
+	stats := make([]ShardStat, len(srcs))
+	for i := range stats {
+		stats[i].Path = labels[i]
 	}
 	var truth core.TruthAccum
+	seen := make(map[int]int, 256) // user ID -> source index
 	type outcomeCls struct {
 		out core.UserOutcome
 		cls *classify.Classification
 	}
-	err = par.MapStream(opts.Workers,
-		func() (*trace.User, error) { return stream.Next() },
-		func(_ int, u *trace.User) (outcomeCls, error) {
+	next := make([]func() (trace.Frame, error), len(srcs))
+	for s := range srcs {
+		next[s] = srcs[s].NextFrame
+	}
+	err := par.MergeStreams(opts.Workers, next,
+		func(shard, _ int, fr trace.Frame) (outcomeCls, error) {
+			u, err := srcs[shard].DecodeFrame(fr)
+			if err != nil {
+				return outcomeCls{}, err
+			}
 			o, err := v.ValidateUser(u, db)
 			if err != nil {
 				return outcomeCls{}, err
@@ -195,9 +339,14 @@ func ValidateFileOpts(path string, opts StreamOptions) (*StreamResult, error) {
 			}
 			return outcomeCls{out: o, cls: cl}, nil
 		},
-		func(_ int, oc outcomeCls) error {
-			res.Users++
-			res.Partition.Add(oc.out)
+		func(shard, _ int, oc outcomeCls) error {
+			id := oc.out.User.ID
+			if prev, dup := seen[id]; dup {
+				return fmt.Errorf("duplicate user ID %d (%s and %s)", id, labels[prev], labels[shard])
+			}
+			seen[id] = shard
+			stats[shard].Users++
+			stats[shard].Partition.Add(oc.out)
 			for _, k := range oc.cls.Kinds {
 				res.Taxonomy[k.String()]++
 			}
@@ -206,6 +355,11 @@ func ValidateFileOpts(path string, opts StreamOptions) (*StreamResult, error) {
 		})
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	res.Shards = stats
+	for _, st := range stats {
+		res.Users += st.Users
+		res.Partition.Merge(st.Partition)
 	}
 	if truth.Labeled() > 0 {
 		sc, err := truth.Score()

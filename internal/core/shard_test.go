@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+	"geosocial/internal/trace"
+)
+
+// onGridDataset generates a dataset and round-trips it through the
+// binary codec so its coordinates sit on the E7 grid — binary shard
+// streams then decode to exactly these users.
+func onGridDataset(t *testing.T, scale float64, seed uint64) *trace.Dataset {
+	t.Helper()
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(scale), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	onGrid, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return onGrid
+}
+
+// splitUsers deals the dataset's users round-robin into n slices.
+func splitUsers(ds *trace.Dataset, n int) []*trace.Dataset {
+	out := make([]*trace.Dataset, n)
+	for i := range out {
+		out[i] = &trace.Dataset{Name: ds.Name, POIs: ds.POIs}
+	}
+	for i, u := range ds.Users {
+		out[i%n].Users = append(out[i%n].Users, u)
+	}
+	return out
+}
+
+// binaryShardSources encodes each split as a standalone binary stream
+// and opens a StreamReader over it, so decode really runs from raw
+// frames.
+func binaryShardSources(t *testing.T, splits []*trace.Dataset) []trace.FrameSource {
+	t.Helper()
+	srcs := make([]trace.FrameSource, len(splits))
+	for i, part := range splits {
+		var buf bytes.Buffer
+		if err := part.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := trace.NewStreamReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = sr
+	}
+	return srcs
+}
+
+// TestValidateShardsMatchesDataset is the core determinism contract:
+// validating K binary shards concurrently yields exactly the partition
+// of single-dataset validation of the same users, for shard counts
+// {1, 3, 8} x worker counts {1, 8}, with per-shard partitions that sum
+// to the whole.
+func TestValidateShardsMatchesDataset(t *testing.T) {
+	ds := onGridDataset(t, 0.05, 42)
+	ref := NewValidator()
+	ref.Parallelism = 1
+	_, wantPart, err := ref.ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ds.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 8} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				splits := splitUsers(ds, shards)
+				srcs := binaryShardSources(t, splits)
+				v := NewValidator()
+				v.Parallelism = workers
+				users := 0
+				parts, err := v.ValidateShards(db, srcs, func(shard int, o UserOutcome) error {
+					users++
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if users != len(ds.Users) {
+					t.Fatalf("sink saw %d users, want %d", users, len(ds.Users))
+				}
+				var got Partition
+				for _, p := range parts {
+					got.Merge(p)
+				}
+				if got != wantPart {
+					t.Fatalf("merged partition %+v, want %+v", got, wantPart)
+				}
+				for s, p := range parts {
+					if want := countPartition(t, splits[s]); p != want {
+						t.Fatalf("shard %d partition %+v, want %+v", s, p, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// countPartition validates one split serially as the per-shard
+// reference.
+func countPartition(t *testing.T, part *trace.Dataset) Partition {
+	t.Helper()
+	v := NewValidator()
+	v.Parallelism = 1
+	_, p, err := v.ValidateDataset(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestValidateShardsRejectsCrossShardDuplicates covers the set-wide
+// duplicate user ID check the serial readers cannot perform.
+func TestValidateShardsRejectsCrossShardDuplicates(t *testing.T) {
+	ds := onGridDataset(t, 0.02, 7)
+	db, err := ds.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both shards carry the full user list: every ID is a duplicate.
+	srcs := []trace.FrameSource{
+		trace.SourceFrames(ds.Source()),
+		trace.SourceFrames(ds.Source()),
+	}
+	for _, workers := range []int{1, 8} {
+		v := NewValidator()
+		v.Parallelism = workers
+		_, err := v.ValidateShards(db, srcs, nil)
+		if err == nil || !strings.Contains(err.Error(), "duplicate user ID") {
+			t.Fatalf("workers=%d: duplicate users accepted: %v", workers, err)
+		}
+		srcs = []trace.FrameSource{ // fresh cursors for the next round
+			trace.SourceFrames(ds.Source()),
+			trace.SourceFrames(ds.Source()),
+		}
+	}
+}
+
+// TestPartitionMerge pins Merge against element-wise addition and the
+// zero identity.
+func TestPartitionMerge(t *testing.T) {
+	a := Partition{Checkins: 1, Visits: 2, Honest: 3, Extraneous: 4, Missing: 5}
+	b := Partition{Checkins: 10, Visits: 20, Honest: 30, Extraneous: 40, Missing: 50}
+	got := a
+	got.Merge(b)
+	want := Partition{Checkins: 11, Visits: 22, Honest: 33, Extraneous: 44, Missing: 55}
+	if got != want {
+		t.Fatalf("merge %+v, want %+v", got, want)
+	}
+	got.Merge(Partition{})
+	if got != want {
+		t.Fatalf("zero merge changed the partition: %+v", got)
+	}
+}
+
+// TestTruthAccumMerge checks that per-shard accumulators merged in any
+// order score exactly like one accumulator over all outcomes.
+func TestTruthAccumMerge(t *testing.T) {
+	ds := onGridDataset(t, 0.03, 21)
+	outs, _, err := NewValidator().ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole TruthAccum
+	for _, o := range outs {
+		whole.Add(o)
+	}
+	want, err := whole.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]TruthAccum, 3)
+	for i, o := range outs {
+		shards[i%3].Add(o)
+	}
+	// Merge in reverse order to exercise commutativity.
+	var merged TruthAccum
+	for i := len(shards) - 1; i >= 0; i-- {
+		merged.Merge(shards[i])
+	}
+	got, err := merged.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("merged score %+v, want %+v", got, want)
+	}
+}

@@ -19,11 +19,23 @@ type UserOutcome struct {
 
 // Partition is the dataset-level Venn diagram of Figure 1.
 type Partition struct {
-	Checkins   int // total checkin events
-	Visits     int // total detected visits
-	Honest     int // matched checkins
-	Extraneous int // unmatched checkins
-	Missing    int // unmatched visits
+	Checkins   int `json:"checkins"`   // total checkin events
+	Visits     int `json:"visits"`     // total detected visits
+	Honest     int `json:"honest"`     // matched checkins
+	Extraneous int `json:"extraneous"` // unmatched checkins
+	Missing    int `json:"missing"`    // unmatched visits
+}
+
+// Merge adds q's counts into p. Merging per-shard partitions in any
+// order yields exactly the partition of the concatenated users —
+// addition is associative and commutative — which is what makes sharded
+// validation byte-identical to single-file validation.
+func (p *Partition) Merge(q Partition) {
+	p.Checkins += q.Checkins
+	p.Visits += q.Visits
+	p.Honest += q.Honest
+	p.Extraneous += q.Extraneous
+	p.Missing += q.Missing
 }
 
 // ExtraneousRatio returns extraneous checkins as a fraction of all
@@ -181,15 +193,61 @@ func (v *Validator) ValidateStream(db *poi.DB, src trace.UserSource, sink func(U
 	return part, nil
 }
 
+// ValidateShards is ValidateStream over a set of shard streams read
+// concurrently: each shard's frames are fetched by a dedicated reader
+// goroutine (overlapping I/O across files), decode + visit detection +
+// matching run per user on a single shared pool of v.Parallelism
+// workers, and sink — which may be nil — receives each outcome on the
+// calling goroutine in the deterministic merged order of
+// par.MergeStreams. Duplicate user IDs are rejected across the whole
+// set, exactly as single-stream readers reject them within one file.
+//
+// The returned partitions are per shard, merged-ready: merging them in
+// shard order (or any order — Merge is commutative) yields exactly the
+// partition ValidateStream would produce over the concatenated users,
+// for any worker count and any shard count.
+func (v *Validator) ValidateShards(db *poi.DB, shards []trace.FrameSource, sink func(shard int, o UserOutcome) error) ([]Partition, error) {
+	params, vcfg := v.resolve()
+	parts := make([]Partition, len(shards))
+	seen := make(map[int]int, 256) // user ID -> shard, for the cross-shard duplicate check
+	next := make([]func() (trace.Frame, error), len(shards))
+	for s := range shards {
+		next[s] = shards[s].NextFrame
+	}
+	err := par.MergeStreams(v.Parallelism, next,
+		func(shard, _ int, fr trace.Frame) (UserOutcome, error) {
+			u, err := shards[shard].DecodeFrame(fr)
+			if err != nil {
+				return UserOutcome{}, err
+			}
+			return validateUser(u, db, params, vcfg)
+		},
+		func(shard, _ int, o UserOutcome) error {
+			if prev, dup := seen[o.User.ID]; dup {
+				return fmt.Errorf("core: duplicate user ID %d (shards %d and %d)", o.User.ID, prev, shard)
+			}
+			seen[o.User.ID] = shard
+			parts[shard].Add(o)
+			if sink != nil {
+				return sink(shard, o)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
 // TruthScore compares the matcher's honest/extraneous split against the
 // generator's ground-truth labels (synthetic data only). It treats
 // "matched" as the positive class for honest-labeled checkins.
 type TruthScore struct {
-	Labeled  int     // checkins carrying a ground-truth label
-	Agree    int     // checkins where matcher and label agree
-	Accuracy float64 // Agree / Labeled
-	HonestP  float64 // precision of the matched set against LabelHonest
-	HonestR  float64 // recall of LabelHonest checkins into the matched set
+	Labeled  int     `json:"labeled"`          // checkins carrying a ground-truth label
+	Agree    int     `json:"agree"`            // checkins where matcher and label agree
+	Accuracy float64 `json:"accuracy"`         // Agree / Labeled
+	HonestP  float64 `json:"honest_precision"` // precision of the matched set against LabelHonest
+	HonestR  float64 `json:"honest_recall"`    // recall of LabelHonest checkins into the matched set
 }
 
 // TruthAccum incrementally builds a TruthScore from a stream of user
@@ -226,6 +284,17 @@ func (a *TruthAccum) Add(o UserOutcome) {
 
 // Labeled returns the number of labeled checkins seen so far.
 func (a *TruthAccum) Labeled() int { return a.labeled }
+
+// Merge adds b's counts into a. Like Partition.Merge it is associative
+// and commutative, so per-shard accumulators merged in any order score
+// exactly like one accumulator fed the concatenated users.
+func (a *TruthAccum) Merge(b TruthAccum) {
+	a.labeled += b.labeled
+	a.agree += b.agree
+	a.matchedHonest += b.matchedHonest
+	a.matchedTotal += b.matchedTotal
+	a.honestTotal += b.honestTotal
+}
 
 // Score finalizes the accumulated counts. It returns an error when no
 // checkin carried a label (real data).

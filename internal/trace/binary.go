@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"geosocial/internal/geo"
 	"geosocial/internal/poi"
@@ -242,6 +243,7 @@ type StreamWriter struct {
 	seen    map[int]struct{}
 	numPOIs int
 	users   uint64
+	bytes   int64
 	closed  bool
 }
 
@@ -275,8 +277,17 @@ func NewStreamWriter(w io.Writer, name string, pois []poi.POI) (*StreamWriter, e
 	if _, err := sw.w.Write(hdr.buf); err != nil {
 		return nil, fmt.Errorf("trace: write binary header: %w", err)
 	}
+	sw.bytes = int64(len(binaryMagic) + len(hdr.buf))
 	return sw, nil
 }
+
+// Users returns the number of user frames written so far.
+func (sw *StreamWriter) Users() int { return int(sw.users) }
+
+// Bytes returns the number of uncompressed stream bytes produced so far
+// (header plus frames; the trailer is not yet counted before Close).
+// ShardWriter uses it to keep shards size-balanced.
+func (sw *StreamWriter) Bytes() int64 { return sw.bytes }
 
 // WriteUser validates and appends one user frame.
 func (sw *StreamWriter) WriteUser(u *User) error {
@@ -349,6 +360,7 @@ func (sw *StreamWriter) WriteUser(u *User) error {
 	}
 	sw.seen[u.ID] = struct{}{}
 	sw.users++
+	sw.bytes += int64(n + len(e.buf))
 	return nil
 }
 
@@ -365,6 +377,7 @@ func (sw *StreamWriter) Close() error {
 	if _, err := sw.w.Write(tail.buf); err != nil {
 		return fmt.Errorf("trace: write binary trailer: %w", err)
 	}
+	sw.bytes += int64(len(tail.buf))
 	if err := sw.w.Flush(); err != nil {
 		return fmt.Errorf("trace: write binary trailer: %w", err)
 	}
@@ -378,16 +391,50 @@ func (sw *StreamWriter) Close() error {
 // and validated by NewStreamReader; Next yields validated users and
 // io.EOF after the trailer has been verified.
 //
+// Ingest is split into two stages so decode can run off the reading
+// goroutine: NextFrame fetches the next raw frame (cheap, sequential
+// I/O) and DecodeFrame decodes and validates it (CPU-bound, safe for
+// concurrent calls on distinct frames). Next composes the two for the
+// serial path. Frame buffers are recycled through an internal pool —
+// DecodeFrame returns its frame's buffer when done — so steady-state
+// reading allocates no per-user scratch.
+//
 // The reader tracks seen user IDs to reject duplicates — an O(users)
-// integer set, the only per-user state it keeps.
+// integer set, the only per-user state it keeps. The check lives in
+// Next, not DecodeFrame: callers of the two-stage API that interleave
+// frames from several readers own the (inherently serial) duplicate
+// check across their merged stream.
 type StreamReader struct {
 	r     *bufio.Reader
 	name  string
 	pois  []poi.POI
 	seen  map[int]struct{}
-	frame []byte
+	bufs  sync.Pool // *[]byte, recycled by DecodeFrame
 	users uint64
 	done  bool
+}
+
+// Frame is one undecoded unit of a user stream: a raw binary frame
+// fetched by StreamReader.NextFrame, or an already-decoded user wrapped
+// by SourceFrames. Frames are consumed by DecodeFrame and must not be
+// reused afterwards (the backing buffer returns to the reader's pool).
+type Frame struct {
+	data []byte
+	buf  *[]byte // pool box for data, nil when not pooled
+	user *User   // pre-decoded user for SourceFrames adapters
+}
+
+// FrameSource is the two-stage ingest interface behind parallel decode.
+// NextFrame returns the next undecoded frame, or io.EOF at a verified
+// end of stream; it must be called from one goroutine at a time.
+// DecodeFrame decodes and validates a frame from this source; it is
+// safe for concurrent calls on distinct frames, which is what lets
+// decode run as the first stage of a worker pool. Implementations do
+// not check for duplicate user IDs across frames — that check is
+// serial by nature and belongs to whoever consumes the decoded stream.
+type FrameSource interface {
+	NextFrame() (Frame, error)
+	DecodeFrame(Frame) (*User, error)
 }
 
 // NewStreamReader decodes and validates the stream header. The reader
@@ -464,37 +511,86 @@ func (sr *StreamReader) POIs() []poi.POI { return sr.pois }
 // end-of-stream trailer has been read and verified. A truncated or
 // corrupt stream yields a non-EOF error, never a silently short dataset.
 func (sr *StreamReader) Next() (*User, error) {
+	f, err := sr.NextFrame()
+	if err != nil {
+		return nil, err // io.EOF passes through untouched
+	}
+	u, err := sr.DecodeFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := sr.seen[u.ID]; dup {
+		return nil, fmt.Errorf("trace: invalid dataset: duplicate user ID %d", u.ID)
+	}
+	sr.seen[u.ID] = struct{}{}
+	return u, nil
+}
+
+// NextFrame fetches the next raw user frame without decoding it, or
+// io.EOF once the end-of-stream trailer has been read and verified. The
+// frame's buffer comes from the reader's pool and is reclaimed by
+// DecodeFrame, so each frame must be decoded exactly once.
+func (sr *StreamReader) NextFrame() (Frame, error) {
 	if sr.done {
-		return nil, io.EOF
+		return Frame{}, io.EOF
 	}
 	frameLen, err := binary.ReadUvarint(sr.r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: read binary frame: %w", noEOF(err))
+		return Frame{}, fmt.Errorf("trace: read binary frame: %w", noEOF(err))
 	}
 	if frameLen == 0 {
 		// Sentinel: verify the trailer then report a clean end.
 		count, err := binary.ReadUvarint(sr.r)
 		if err != nil {
-			return nil, fmt.Errorf("trace: read binary trailer: %w", noEOF(err))
+			return Frame{}, fmt.Errorf("trace: read binary trailer: %w", noEOF(err))
 		}
 		if count != sr.users {
-			return nil, fmt.Errorf("trace: binary trailer user count %d, decoded %d", count, sr.users)
+			return Frame{}, fmt.Errorf("trace: binary trailer user count %d, decoded %d", count, sr.users)
 		}
 		sr.done = true
-		return nil, io.EOF
+		return Frame{}, io.EOF
 	}
 	if frameLen > maxFrameBytes {
-		return nil, fmt.Errorf("trace: binary frame length %d exceeds limit", frameLen)
+		return Frame{}, fmt.Errorf("trace: binary frame length %d exceeds limit", frameLen)
 	}
-	if uint64(cap(sr.frame)) < frameLen {
-		sr.frame = make([]byte, frameLen)
+	bp, _ := sr.bufs.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
 	}
-	sr.frame = sr.frame[:frameLen]
-	if _, err := io.ReadFull(sr.r, sr.frame); err != nil {
-		return nil, fmt.Errorf("trace: read binary frame: %w", noEOF(err))
+	if uint64(cap(*bp)) < frameLen {
+		*bp = make([]byte, frameLen)
 	}
+	buf := (*bp)[:frameLen]
+	if _, err := io.ReadFull(sr.r, buf); err != nil {
+		sr.bufs.Put(bp)
+		return Frame{}, fmt.Errorf("trace: read binary frame: %w", noEOF(err))
+	}
+	sr.users++
+	return Frame{data: buf, buf: bp}, nil
+}
 
-	d := frameDec{data: sr.frame}
+// Users returns the number of user frames fetched so far.
+func (sr *StreamReader) Users() int { return int(sr.users) }
+
+// DecodeFrame decodes and validates one frame fetched from this reader
+// (trace invariants and checkin POI references, but not cross-frame
+// duplicate user IDs; see the type comment). It is safe for concurrent
+// calls on distinct frames. The frame's buffer is returned to the
+// reader's pool, so the frame must not be used again.
+func (sr *StreamReader) DecodeFrame(f Frame) (*User, error) {
+	if f.user != nil {
+		return f.user, nil
+	}
+	u, err := sr.decodeFrame(f.data)
+	if f.buf != nil {
+		sr.bufs.Put(f.buf)
+	}
+	return u, err
+}
+
+// decodeFrame decodes one raw frame payload into a validated user.
+func (sr *StreamReader) decodeFrame(data []byte) (*User, error) {
+	d := frameDec{data: data}
 	u := &User{}
 	u.ID = int(d.varint())
 	u.Days = d.f64()
@@ -554,16 +650,29 @@ func (sr *StreamReader) Next() (*User, error) {
 	if err := u.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: invalid dataset: %w", err)
 	}
-	if _, dup := sr.seen[u.ID]; dup {
-		return nil, fmt.Errorf("trace: invalid dataset: duplicate user ID %d", u.ID)
-	}
 	if err := u.validateRefs(len(sr.pois)); err != nil {
 		return nil, fmt.Errorf("trace: invalid dataset: %w", err)
 	}
-	sr.seen[u.ID] = struct{}{}
-	sr.users++
 	return u, nil
 }
+
+// SourceFrames adapts an already-decoded user stream to FrameSource, so
+// in-memory and JSON-backed datasets can join a merged multi-source
+// validation alongside binary shards. NextFrame wraps each user in a
+// frame; DecodeFrame unwraps it (there is nothing left to decode).
+func SourceFrames(src UserSource) FrameSource { return userFrames{src} }
+
+type userFrames struct{ src UserSource }
+
+func (s userFrames) NextFrame() (Frame, error) {
+	u, err := s.src.Next()
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{user: u}, nil
+}
+
+func (s userFrames) DecodeFrame(f Frame) (*User, error) { return f.user, nil }
 
 // readString reads a uvarint-prefixed string from a header stream.
 func readString(br *bufio.Reader) (string, error) {

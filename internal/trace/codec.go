@@ -36,6 +36,27 @@ func (f Format) String() string {
 	}
 }
 
+// MarshalJSON encodes the format as its String() name, so machine-
+// readable reports say "binary", not an opaque enum number.
+func (f Format) MarshalJSON() ([]byte, error) { return json.Marshal(f.String()) }
+
+// UnmarshalJSON accepts the names produced by MarshalJSON.
+func (f *Format) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "json":
+		*f = FormatJSON
+	case "binary":
+		*f = FormatBinary
+	default:
+		return fmt.Errorf("trace: unknown format %q", s)
+	}
+	return nil
+}
+
 // Ext returns the conventional file extension for the format (without
 // compression suffix): ".json" or ".bin".
 func (f Format) Ext() string {
@@ -242,6 +263,17 @@ type DatasetStream struct {
 
 // Next yields the next user, or io.EOF after the last one.
 func (s *DatasetStream) Next() (*User, error) { return s.src.Next() }
+
+// Frames returns the two-stage FrameSource view of the stream: raw
+// frames for binary files (decode can then run on a worker pool) and
+// wrapped pre-decoded users for JSON files. Frames and Next iterate the
+// same underlying cursor, so use one or the other, not both.
+func (s *DatasetStream) Frames() FrameSource {
+	if fs, ok := s.src.(FrameSource); ok {
+		return fs
+	}
+	return SourceFrames(s.src)
+}
 
 // DB builds the POI database for the stream's venue table.
 func (s *DatasetStream) DB() (*poi.DB, error) { return poi.NewDB(s.POIs) }

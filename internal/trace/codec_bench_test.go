@@ -67,9 +67,12 @@ func BenchmarkCodecEncodeJSON(b *testing.B) {
 
 // BenchmarkCodecEncodeBinary measures binary encoding; compare its
 // encoded-bytes against the JSON bench (expect several times smaller).
+// allocs/op stays flat in the dataset size because the StreamWriter
+// reuses one frameEnc scratch buffer across users.
 func BenchmarkCodecEncodeBinary(b *testing.B) {
 	ds, rawJSON, raw := codecFixture(b)
 	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ds.WriteBinary(io.Discard); err != nil {
@@ -109,10 +112,14 @@ func BenchmarkCodecDecodeBinary(b *testing.B) {
 }
 
 // BenchmarkCodecDecodeBinaryStream measures the pure streaming path (no
-// dataset materialization): one user in memory at a time.
+// dataset materialization): one user in memory at a time. allocs/op is
+// part of the contract being measured — the reader recycles its frame
+// scratch buffer through a pool instead of allocating per user, so the
+// per-user overhead is only the decoded User itself.
 func BenchmarkCodecDecodeBinaryStream(b *testing.B) {
 	_, _, raw := codecFixture(b)
 	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sr, err := trace.NewStreamReader(bytes.NewReader(raw))
@@ -123,6 +130,35 @@ func BenchmarkCodecDecodeBinaryStream(b *testing.B) {
 			if _, err := sr.Next(); err == io.EOF {
 				break
 			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCodecDecodeFrames measures the two-stage ingest split
+// (NextFrame + DecodeFrame) that parallel validation is built on.
+// Compare against BenchmarkCodecDecodeBinaryStream: the split must cost
+// nothing — same throughput, same allocs/op — since Next is now exactly
+// this composition plus the duplicate-ID check.
+func BenchmarkCodecDecodeFrames(b *testing.B) {
+	_, _, raw := codecFixture(b)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := trace.NewStreamReader(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			f, err := sr.NextFrame()
+			if err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sr.DecodeFrame(f); err != nil {
 				b.Fatal(err)
 			}
 		}

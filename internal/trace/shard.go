@@ -1,0 +1,489 @@
+package trace
+
+// Sharded corpora: a dataset split across N independent binary shard
+// files plus a small JSON manifest. Each shard is a complete GSB1
+// stream (own header, POI table, trailer), so any single shard is
+// readable by the ordinary StreamReader and shards can be validated
+// concurrently with no coordination beyond the manifest. The manifest
+// binds the set together: the dataset name, a checksum of the shared
+// POI table (every shard must carry a byte-identical table), the total
+// user count and the per-shard user counts.
+//
+// Layout for a corpus named "primary" with 3 shards:
+//
+//	primary-0000.bin[.gz]
+//	primary-0001.bin[.gz]
+//	primary-0002.bin[.gz]
+//	primary.manifest.json
+//
+// ShardWriter assigns each user to the shard with the fewest encoded
+// bytes so far (ties to the lowest index), which keeps shard sizes
+// balanced even when user traces vary wildly in length. The assignment
+// depends only on the user order and their encodings, so a corpus
+// written twice from the same dataset is byte-identical.
+
+import (
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"geosocial/internal/poi"
+)
+
+// ManifestSuffix is the conventional file-name suffix of a shard-set
+// manifest ("primary" + ManifestSuffix).
+const ManifestSuffix = ".manifest.json"
+
+// manifestFormat is the format marker inside a manifest document.
+const manifestFormat = "gsb1-shards"
+
+// manifestVersion is the current manifest schema version.
+const manifestVersion = 1
+
+// ShardInfo describes one shard file of a sharded corpus.
+type ShardInfo struct {
+	// File is the shard file name, relative to the manifest's directory.
+	File string `json:"file"`
+	// Users is the number of user frames in the shard.
+	Users int `json:"users"`
+	// Bytes is the uncompressed encoded size of the shard stream.
+	Bytes int64 `json:"bytes"`
+}
+
+// Manifest is the shard-set descriptor stored next to the shard files.
+type Manifest struct {
+	// Format is the manifest format marker, always "gsb1-shards".
+	Format string `json:"format"`
+	// Version is the manifest schema version.
+	Version int `json:"version"`
+	// Name is the dataset name; every shard header must carry it too.
+	Name string `json:"name"`
+	// POIChecksum is the checksum of the encoded POI table shared by
+	// every shard (see POIChecksum).
+	POIChecksum string `json:"poi_checksum"`
+	// Users is the total user count across all shards.
+	Users int `json:"users"`
+	// Shards lists the shard files in index order.
+	Shards []ShardInfo `json:"shards"`
+}
+
+// POIChecksum fingerprints a POI table: sha256 over the table's binary
+// header encoding. Two tables agree on the checksum iff their header
+// encodings are byte-identical, which is the invariant a shard set
+// needs — every shard must decode checkins against the same venues.
+func POIChecksum(pois []poi.POI) string {
+	var e frameEnc
+	e.uvarint(uint64(len(pois)))
+	for _, p := range pois {
+		e.str(p.Name)
+		e.varint(int64(p.Category))
+		e.latlon(p.Loc)
+		e.f64(p.Popularity)
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(e.buf))
+}
+
+// ShardOptions configures NewShardWriter.
+type ShardOptions struct {
+	// Shards is the number of shard files (must be >= 1).
+	Shards int
+	// Compress gzip-compresses each shard file (and appends ".gz" to the
+	// shard file names).
+	Compress bool
+}
+
+// shardFile is one open shard of a ShardWriter.
+type shardFile struct {
+	f     *os.File
+	tmp   string // temp path the bytes go to until Close renames it
+	final string // final file name, relative to the writer's directory
+	gz    *gzip.Writer
+	sw    *StreamWriter
+}
+
+// ShardWriter writes a sharded binary corpus: N shard files plus a
+// manifest. Users are validated exactly as StreamWriter validates them,
+// with duplicate-ID detection across the whole set. Bytes go to
+// temporary files which Close renames into place before writing the
+// manifest last, so a complete manifest on disk always describes
+// complete shards.
+type ShardWriter struct {
+	dir         string
+	name        string
+	poiChecksum string
+	seen        map[int]struct{}
+	shards      []*shardFile
+	closed      bool
+}
+
+// NewShardWriter creates the shard files for a corpus of opts.Shards
+// shards in dir and writes their stream headers.
+func NewShardWriter(dir, name string, pois []poi.POI, opts ShardOptions) (*ShardWriter, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("trace: shard writer: %d shards (need >= 1)", opts.Shards)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("trace: shard writer: empty corpus name")
+	}
+	w := &ShardWriter{
+		dir:         dir,
+		name:        name,
+		poiChecksum: POIChecksum(pois),
+		seen:        make(map[int]struct{}),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		final := fmt.Sprintf("%s-%04d%s", name, i, FormatBinary.Ext())
+		if opts.Compress {
+			final += ".gz"
+		}
+		f, err := createTemp(filepath.Join(dir, final))
+		if err != nil {
+			w.discard()
+			return nil, fmt.Errorf("trace: shard writer: %w", err)
+		}
+		sf := &shardFile{f: f, tmp: f.Name(), final: final}
+		w.shards = append(w.shards, sf)
+		var sink io.Writer = f
+		if opts.Compress {
+			sf.gz = gzip.NewWriter(f)
+			sink = sf.gz
+		}
+		if sf.sw, err = NewStreamWriter(sink, name, pois); err != nil {
+			w.discard()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// WriteUser validates the user and appends it to the currently smallest
+// shard (ties go to the lowest shard index). The assignment is a pure
+// function of the users written so far, so output is deterministic.
+func (w *ShardWriter) WriteUser(u *User) error {
+	if w.closed {
+		return fmt.Errorf("trace: shard writer: writer closed")
+	}
+	if _, dup := w.seen[u.ID]; dup {
+		return fmt.Errorf("trace: shard writer: duplicate user ID %d", u.ID)
+	}
+	best := 0
+	for i, sf := range w.shards {
+		if sf.sw.Bytes() < w.shards[best].sw.Bytes() {
+			best = i
+		}
+	}
+	if err := w.shards[best].sw.WriteUser(u); err != nil {
+		return err
+	}
+	w.seen[u.ID] = struct{}{}
+	return nil
+}
+
+// ManifestPath returns the path the manifest is written to by Close.
+func (w *ShardWriter) ManifestPath() string {
+	return filepath.Join(w.dir, w.name+ManifestSuffix)
+}
+
+// Close finishes every shard stream (sentinel, trailer, flush), renames
+// the shard files into place, and writes the manifest last. On error
+// the temporary files are removed and no manifest is written.
+func (w *ShardWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	m := Manifest{
+		Format:  manifestFormat,
+		Version: manifestVersion,
+		Name:    w.name,
+	}
+	for _, sf := range w.shards {
+		if err := sf.sw.Close(); err != nil {
+			w.discard()
+			return err
+		}
+		if sf.gz != nil {
+			if err := sf.gz.Close(); err != nil {
+				w.discard()
+				return fmt.Errorf("trace: shard writer: %w", err)
+			}
+		}
+		if err := sf.f.Close(); err != nil {
+			w.discard()
+			return fmt.Errorf("trace: shard writer: %w", err)
+		}
+		sf.f = nil
+		m.Shards = append(m.Shards, ShardInfo{
+			File:  sf.final,
+			Users: sf.sw.Users(),
+			Bytes: sf.sw.Bytes(),
+		})
+		m.Users += sf.sw.Users()
+	}
+	// All streams are complete; move them into place, then publish the
+	// manifest last, so a manifest on disk always describes complete
+	// shards.
+	for _, sf := range w.shards {
+		if err := os.Rename(sf.tmp, filepath.Join(w.dir, sf.final)); err != nil {
+			w.discard()
+			return fmt.Errorf("trace: shard writer: %w", err)
+		}
+		sf.tmp = ""
+	}
+	m.POIChecksum = w.poiChecksum
+	return writeManifest(w.ManifestPath(), &m)
+}
+
+// discard closes and removes any temporary shard files (error path).
+func (w *ShardWriter) discard() {
+	w.closed = true
+	for _, sf := range w.shards {
+		if sf.f != nil {
+			sf.f.Close()
+			sf.f = nil
+		}
+		if sf.tmp != "" {
+			os.Remove(sf.tmp)
+			sf.tmp = ""
+		}
+	}
+}
+
+// writeManifest atomically writes the manifest JSON to path.
+func writeManifest(path string, m *Manifest) error {
+	f, err := createTemp(path)
+	if err != nil {
+		return fmt.Errorf("trace: write manifest: %w", err)
+	}
+	tmp := f.Name()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("trace: write manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: write manifest: %w", err)
+	}
+	return nil
+}
+
+// SaveShards writes the dataset as a sharded binary corpus in dir and
+// returns the manifest path. The dataset is validated as a side effect;
+// coordinates are quantized to the E7 grid exactly as SaveFile's binary
+// path does.
+func (d *Dataset) SaveShards(dir string, opts ShardOptions) (string, error) {
+	w, err := NewShardWriter(dir, d.Name, d.POIs, opts)
+	if err != nil {
+		return "", err
+	}
+	for _, u := range d.Users {
+		if err := w.WriteUser(u); err != nil {
+			w.discard()
+			return "", err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+	return w.ManifestPath(), nil
+}
+
+// ShardSet is an opened shard-set manifest: the parsed, internally
+// consistent manifest plus the directory its shard files resolve
+// against. OpenShard gives streaming access to one shard.
+type ShardSet struct {
+	// Manifest is the validated manifest document.
+	Manifest Manifest
+	// Dir is the directory shard file names resolve against.
+	Dir string
+}
+
+// OpenShardSet opens a sharded corpus from a manifest path or from a
+// directory containing exactly one "*.manifest.json". It validates the
+// manifest document (format marker, shard list, user-count arithmetic,
+// sane file names); per-shard header and trailer validation happens as
+// each shard is opened and read.
+func OpenShardSet(path string) (*ShardSet, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open shard set: %w", err)
+	}
+	if info.IsDir() {
+		path, err = findManifest(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open shard set: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("trace: open shard set %s: %w", path, err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("trace: %s: not a shard manifest (format %q)", path, m.Format)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("trace: %s: unsupported manifest version %d (have %d)", path, m.Version, manifestVersion)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("trace: %s: manifest lists no shards", path)
+	}
+	total := 0
+	for i, s := range m.Shards {
+		if s.File == "" || filepath.IsAbs(s.File) || strings.Contains(s.File, "..") {
+			return nil, fmt.Errorf("trace: %s: shard %d has unsafe file name %q", path, i, s.File)
+		}
+		if s.Users < 0 {
+			return nil, fmt.Errorf("trace: %s: shard %d has negative user count", path, i)
+		}
+		total += s.Users
+	}
+	if total != m.Users {
+		return nil, fmt.Errorf("trace: %s: shard user counts sum to %d, manifest says %d", path, total, m.Users)
+	}
+	return &ShardSet{Manifest: m, Dir: filepath.Dir(path)}, nil
+}
+
+// findManifest locates the single "*.manifest.json" inside dir.
+func findManifest(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("trace: open shard set: %w", err)
+	}
+	var found []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ManifestSuffix) {
+			found = append(found, filepath.Join(dir, e.Name()))
+		}
+	}
+	switch len(found) {
+	case 0:
+		return "", fmt.Errorf("trace: no %s manifest in %s", ManifestSuffix, dir)
+	case 1:
+		return found[0], nil
+	default:
+		return "", fmt.Errorf("trace: %d manifests in %s, name one explicitly", len(found), dir)
+	}
+}
+
+// ShardReader streams one shard of a shard set. It is a FrameSource
+// whose end-of-stream additionally verifies the shard against the
+// manifest (user count); the header was verified against the manifest
+// at open time (name and POI checksum).
+type ShardReader struct {
+	sr      *StreamReader
+	closers []func() error
+	seen    map[int]struct{}
+	want    int
+}
+
+// OpenShard opens shard i for streaming and verifies its header carries
+// the manifest's dataset name and an identical POI table.
+func (ss *ShardSet) OpenShard(i int) (*ShardReader, error) {
+	if i < 0 || i >= len(ss.Manifest.Shards) {
+		return nil, fmt.Errorf("trace: shard %d out of range (set has %d)", i, len(ss.Manifest.Shards))
+	}
+	info := ss.Manifest.Shards[i]
+	path := filepath.Join(ss.Dir, info.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open shard %s: %w", info.File, err)
+	}
+	br, gz, err := sniffReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: open shard %s: %w", info.File, err)
+	}
+	closers := []func() error{f.Close}
+	if gz != nil {
+		closers = []func() error{gz.Close, f.Close}
+	}
+	fail := func(err error) (*ShardReader, error) {
+		for _, c := range closers {
+			c()
+		}
+		return nil, err
+	}
+	sr, err := NewStreamReader(br)
+	if err != nil {
+		return fail(fmt.Errorf("trace: shard %s: %w", info.File, err))
+	}
+	if sr.Name() != ss.Manifest.Name {
+		return fail(fmt.Errorf("trace: shard %s: dataset name %q, manifest says %q", info.File, sr.Name(), ss.Manifest.Name))
+	}
+	if sum := POIChecksum(sr.POIs()); sum != ss.Manifest.POIChecksum {
+		return fail(fmt.Errorf("trace: shard %s: POI table checksum %s, manifest says %s", info.File, sum, ss.Manifest.POIChecksum))
+	}
+	return &ShardReader{sr: sr, closers: closers, want: info.Users}, nil
+}
+
+// POIs returns the shard's decoded POI table (identical across the set,
+// as enforced by the manifest checksum). The slice is owned by the
+// reader; callers must not mutate it.
+func (r *ShardReader) POIs() []poi.POI { return r.sr.POIs() }
+
+// NextFrame fetches the next raw frame; at the verified end of the
+// stream it additionally checks the frame count against the manifest
+// before reporting io.EOF.
+func (r *ShardReader) NextFrame() (Frame, error) {
+	f, err := r.sr.NextFrame()
+	if err == nil {
+		return f, nil
+	}
+	if err == io.EOF && r.sr.Users() != r.want {
+		return Frame{}, fmt.Errorf("trace: shard has %d users, manifest says %d", r.sr.Users(), r.want)
+	}
+	return Frame{}, err
+}
+
+// DecodeFrame decodes and validates one frame (see StreamReader.DecodeFrame).
+func (r *ShardReader) DecodeFrame(f Frame) (*User, error) { return r.sr.DecodeFrame(f) }
+
+// Next decodes the next user serially (NextFrame + DecodeFrame plus a
+// reader-local duplicate check), so a single shard can also be read as
+// a plain UserSource.
+func (r *ShardReader) Next() (*User, error) {
+	f, err := r.NextFrame()
+	if err != nil {
+		return nil, err
+	}
+	u, err := r.sr.DecodeFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	if r.seen == nil {
+		r.seen = make(map[int]struct{})
+	}
+	if _, dup := r.seen[u.ID]; dup {
+		return nil, fmt.Errorf("trace: invalid shard: duplicate user ID %d", u.ID)
+	}
+	r.seen[u.ID] = struct{}{}
+	return u, nil
+}
+
+// Close releases the shard's file handles. Safe to call more than once.
+func (r *ShardReader) Close() error {
+	var first error
+	for _, c := range r.closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.closers = nil
+	return first
+}

@@ -1,0 +1,190 @@
+package geosocial
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"geosocial/internal/trace"
+)
+
+// saveSingleFile writes the study's primary dataset as one binary file
+// and returns the serial reference result for it.
+func saveSingleFile(t *testing.T) (string, *StreamResult) {
+	t.Helper()
+	s := getStudy(t)
+	path := filepath.Join(t.TempDir(), "primary.bin.gz")
+	if err := s.Primary.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ValidateFileWorkers(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, ref
+}
+
+// TestValidateShardSetMatchesSingleFile is the PR's acceptance
+// contract: validating a sharded corpus produces a StreamResult whose
+// aggregate is byte-identical to validating the equivalent single file,
+// for shard counts {1, 3, 8} x worker counts {1, 8}, compressed or not.
+func TestValidateShardSetMatchesSingleFile(t *testing.T) {
+	_, ref := saveSingleFile(t)
+	s := getStudy(t)
+	for _, shards := range []int{1, 3, 8} {
+		dir := t.TempDir()
+		manifest, err := s.Primary.SaveShards(dir, trace.ShardOptions{
+			Shards:   shards,
+			Compress: shards == 3, // exercise both shard encodings
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 8} {
+			for _, input := range []string{manifest, dir} { // manifest path and directory form
+				got, err := ValidateFileOpts(input, StreamOptions{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Shards) != shards {
+					t.Fatalf("shards=%d workers=%d: result describes %d shards", shards, workers, len(got.Shards))
+				}
+				perShard := 0
+				for _, st := range got.Shards {
+					perShard += st.Users
+				}
+				if perShard != got.Users {
+					t.Fatalf("shards=%d workers=%d: per-shard users sum to %d, total %d", shards, workers, perShard, got.Users)
+				}
+				got.Shards = nil // provenance detail; the aggregate must match exactly
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("shards=%d workers=%d input=%s: result %+v, want %+v",
+						shards, workers, filepath.Base(input), got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestValidatePathsMatchesSingleFile feeds the shard files to
+// ValidatePaths directly (each shard is a standalone dataset file) and
+// checks the same byte-identity, plus duplicate-user rejection when a
+// path repeats.
+func TestValidatePathsMatchesSingleFile(t *testing.T) {
+	single, ref := saveSingleFile(t)
+	s := getStudy(t)
+	dir := t.TempDir()
+	if _, err := s.Primary.SaveShards(dir, trace.ShardOptions{Shards: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < 3; i++ {
+		paths = append(paths, filepath.Join(dir, "primary-000"+string(rune('0'+i))+".bin"))
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := ValidatePaths(paths, StreamOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Shards = nil
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("workers=%d: ValidatePaths result differs from single file", workers)
+		}
+	}
+	if _, err := ValidatePaths(nil, StreamOptions{}); err == nil {
+		t.Error("empty path list accepted")
+	}
+	if _, err := ValidatePaths([]string{single, single}, StreamOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate user ID") {
+		t.Errorf("repeated path accepted: %v", err)
+	}
+}
+
+// TestValidatePathsRejectsMismatchedCorpora covers the set-consistency
+// checks: different dataset names and different POI tables.
+func TestValidatePathsRejectsMismatchedCorpora(t *testing.T) {
+	s := getStudy(t)
+	dir := t.TempDir()
+	primary := filepath.Join(dir, "primary.bin")
+	if err := s.Primary.SaveFile(primary); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.bin")
+	if err := s.Baseline.SaveFile(baseline); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePaths([]string{primary, baseline}, StreamOptions{}); err == nil {
+		t.Error("mixed primary/baseline corpus accepted")
+	}
+	// Same name, tampered POI table: rejected by checksum before any
+	// user is validated.
+	mod := *s.Primary
+	mod.POIs = append(mod.POIs[:0:0], mod.POIs...)
+	mod.POIs[0].Popularity++
+	modPath := filepath.Join(dir, "tampered.bin")
+	if err := mod.SaveFile(modPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePaths([]string{primary, modPath}, StreamOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "POI table") {
+		t.Errorf("mismatched POI tables accepted: %v", err)
+	}
+}
+
+// TestValidateFileShardSetErrors covers facade-level rejection of
+// broken shard sets: tampered manifests and missing shard files.
+func TestValidateFileShardSetErrors(t *testing.T) {
+	s := getStudy(t)
+	newSet := func(t *testing.T) (string, trace.Manifest) {
+		t.Helper()
+		dir := t.TempDir()
+		manifest, err := s.Primary.SaveShards(dir, trace.ShardOptions{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m trace.Manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		return manifest, m
+	}
+
+	t.Run("missing shard", func(t *testing.T) {
+		manifest, m := newSet(t)
+		if err := os.Remove(filepath.Join(filepath.Dir(manifest), m.Shards[0].File)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateFile(manifest); err == nil {
+			t.Error("shard set with missing file accepted")
+		}
+	})
+
+	t.Run("tampered user count", func(t *testing.T) {
+		manifest, m := newSet(t)
+		m.Shards[0].Users++
+		m.Shards[1].Users--
+		raw, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(manifest, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateFile(manifest); err == nil {
+			t.Error("shard set with tampered user counts accepted")
+		}
+	})
+
+	t.Run("directory without manifest", func(t *testing.T) {
+		if _, err := ValidateFile(t.TempDir()); err == nil {
+			t.Error("manifest-less directory accepted")
+		}
+	})
+}
