@@ -1,0 +1,132 @@
+// Command geoserve runs the long-running validation service: it
+// watches a spool directory (and accepts HTTP uploads) for datasets —
+// JSON, binary GSB1, or shard-set manifests — validates them through
+// the same streaming engine geovalidate uses, and serves cached results
+// over HTTP, keyed by dataset checksum so identical bytes are never
+// validated twice.
+//
+// Usage:
+//
+//	geoserve -spool ./spool                       # serve on :8080
+//	geoserve -spool ./spool -addr 127.0.0.1:9090
+//	geoserve -spool ./spool -workers 8 -max-jobs 4 -cache 128
+//	geoserve -spool ./spool -poll 500ms           # fast spool pickup
+//
+// Endpoints (full reference with curl examples in docs/API.md):
+//
+//	POST /v1/datasets                 upload a dataset (?wait=1 blocks)
+//	GET  /v1/datasets                 list datasets
+//	GET  /v1/datasets/{id}            status + full StreamResult JSON
+//	GET  /v1/datasets/{id}/partition  Figure 1 partition
+//	GET  /v1/datasets/{id}/taxonomy   §5.1 taxonomy
+//	GET  /healthz                     liveness
+//	GET  /metrics                     plain-text counters
+//
+// Results are byte-identical to geovalidate -json on the same dataset
+// for any -workers value. The server shuts down gracefully on SIGINT /
+// SIGTERM: in-flight validations and HTTP requests drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"geosocial"
+)
+
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geoserve: ")
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run executes the service until ctx is cancelled, writing the listen
+// banner and lifecycle log lines to stdout. It is the whole tool minus
+// process concerns, so tests can drive it directly.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("geoserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "HTTP listen address")
+		spool   = fs.String("spool", "", "spool directory watched for datasets (required; created if missing)")
+		workers = fs.Int("workers", 0, "per-job pipeline workers (0 = all cores, 1 = serial; results are identical)")
+		maxJobs = fs.Int("max-jobs", 2, "concurrent validations; further datasets queue")
+		cache   = fs.Int("cache", 64, "result-cache capacity in datasets (LRU, keyed by checksum)")
+		poll    = fs.Duration("poll", 2*time.Second, "spool scan interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if *spool == "" {
+		return fmt.Errorf("missing -spool directory (datasets are watched for and uploaded there)")
+	}
+
+	srv, err := geosocial.NewServer(geosocial.ServerOptions{
+		SpoolDir:      *spool,
+		MaxJobs:       *maxJobs,
+		CacheCapacity: *cache,
+		PollInterval:  *poll,
+		Stream:        geosocial.StreamOptions{Workers: *workers},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	// The banner reports the resolved address so -addr :0 is usable
+	// (tests and scripts parse this line).
+	fmt.Fprintf(stdout, "geoserve: listening on http://%s (spool %s)\n", ln.Addr(), *spool)
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "geoserve: shutting down")
+	// Close the service first (concurrently): it releases ?wait=1
+	// long-pollers immediately, so Shutdown can drain their requests
+	// instead of timing out on them, and then drains running
+	// validations while HTTP winds down.
+	closec := make(chan error, 1)
+	go func() { closec <- srv.Close() }()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-closec
+}

@@ -28,7 +28,6 @@
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -90,9 +89,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		// The shared presentation encoding keeps this output
+		// byte-comparable with the geoserve HTTP API.
+		return core.WriteIndentedJSON(stdout, res)
 	}
 
 	fmt.Fprintf(stdout, "dataset %q (%s): %d users\n", res.Name, res.Format, res.Users)

@@ -3,11 +3,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
+	"geosocial"
+	"geosocial/internal/core"
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
 	"geosocial/internal/trace"
@@ -209,4 +216,100 @@ func TestRunBinaryStreamingMatchesJSON(t *testing.T) {
 	if bin8 != binBody {
 		t.Errorf("binary reports differ between -workers 1 and 8:\n--- 1\n%s--- 8\n%s", binBody, bin8)
 	}
+}
+
+// TestJSONRoundTripsThroughServiceDecoder pins the field-name contract
+// between geovalidate -json and the geoserve service: the CLI's output
+// decodes through the service's cache decoder (core.DecodeStreamResult)
+// and back without losing anything, and the partition the service
+// serves over HTTP is byte-identical to the partition field of this
+// tool's -json output, at workers 1 and 8.
+func TestJSONRoundTripsThroughServiceDecoder(t *testing.T) {
+	_, binPath := genBothFormats(t)
+	for _, workers := range []string{"1", "8"} {
+		var out bytes.Buffer
+		if err := run([]string{"-in", binPath, "-json", "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+
+		// geovalidate -json → service decoder → service encoder → decoder:
+		// nothing may be lost or renamed along the way.
+		res, err := core.DecodeStreamResult(out.Bytes())
+		if err != nil {
+			t.Fatalf("service decoder rejects geovalidate -json output: %v", err)
+		}
+		encoded, err := res.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := core.DecodeStreamResult(encoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, res2) {
+			t.Fatalf("round trip through the cache encoding lost data:\n%+v\nvs\n%+v", res, res2)
+		}
+
+		// Serve the same file and compare the partition documents byte
+		// for byte.
+		srv, err := geosocial.NewServer(geosocial.ServerOptions{
+			SpoolDir:     t.TempDir(),
+			PollInterval: -1,
+			Stream:       geosocial.StreamOptions{Workers: mustAtoi(t, workers)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		f, err := os.Open(binPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/datasets?wait=1", "application/octet-stream", f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if info.Status != "done" {
+			t.Fatalf("service job not done: %+v", info)
+		}
+		resp, err = http.Get(ts.URL + "/v1/datasets/" + info.ID + "/partition")
+		if err != nil {
+			t.Fatal(err)
+		}
+		served, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantBuf bytes.Buffer
+		enc := json.NewEncoder(&wantBuf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Partition); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(served, wantBuf.Bytes()) {
+			t.Fatalf("workers=%s: served partition is not byte-identical to geovalidate -json partition:\n%s\nvs\n%s",
+				workers, served, wantBuf.Bytes())
+		}
+	}
+}
+
+func mustAtoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }

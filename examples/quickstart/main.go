@@ -1,12 +1,20 @@
 // Quickstart: generate a small synthetic study, run the full validation
 // pipeline and print the paper's headline findings — the Figure 1
 // partition, the §5.1 taxonomy, and the matcher's score against the
-// generator's ground truth.
+// generator's ground truth. It finishes by spinning up an in-process
+// validation server (the same service cmd/geoserve runs), uploading the
+// dataset over HTTP, and fetching the cached partition back — which is
+// byte-identical to the in-process result.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 
 	"geosocial"
 )
@@ -47,4 +55,65 @@ func main() {
 		fmt.Printf("\nmatcher vs ground truth: accuracy %.1f%%, honest precision %.1f%%, recall %.1f%%\n",
 			100*sc.Accuracy, 100*sc.HonestP, 100*sc.HonestR)
 	}
+
+	// --- The same pipeline, as a service ---
+	// Save the dataset, start the validation server in-process, upload
+	// the file over HTTP, and read the cached partition back. This is
+	// exactly what `geoserve -spool ...` serves; see docs/API.md.
+	dir, err := os.MkdirTemp("", "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dataset := filepath.Join(dir, "primary.bin.gz")
+	if err := study.Primary.SaveFile(dataset); err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := geosocial.NewServer(geosocial.ServerOptions{
+		SpoolDir:     filepath.Join(dir, "spool"),
+		PollInterval: -1, // no directory watching needed; we upload
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv) //nolint:errcheck // quickstart server dies with the process
+	base := "http://" + ln.Addr().String()
+
+	f, err := os.Open(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/datasets?wait=1", "application/octet-stream", f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- Served over HTTP (geoserve) ---\n")
+	fmt.Printf("POST /v1/datasets?wait=1 -> %s\n%s", resp.Status, job)
+
+	// The served partition is byte-identical to geovalidate -json on
+	// the same file, and it comes straight from the result cache
+	// (X-Cache: hit) — validation already ran during the upload.
+	id := resp.Header.Get("Location")
+	resp, err = http.Get(base + id + "/partition")
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET %s/partition (X-Cache: %s)\n%s", id, resp.Header.Get("X-Cache"), part)
 }

@@ -123,38 +123,13 @@ type StreamOptions struct {
 // StreamResult is the bounded-memory analogue of ValidationResult: the
 // aggregate outputs of validating a dataset file (or sharded corpus)
 // user by user, without retaining per-user outcomes. The whole struct
-// marshals to JSON (geovalidate -json).
-type StreamResult struct {
-	// Name is the dataset name from the file header (or manifest).
-	Name string `json:"name"`
-	// Format is the detected on-disk encoding of the input.
-	Format trace.Format `json:"format"`
-	// Users is the number of users validated.
-	Users int `json:"users"`
-	// Partition is the Figure 1 Venn split.
-	Partition core.Partition `json:"partition"`
-	// Taxonomy holds the §5.1 per-kind checkin counts, keyed like
-	// ValidationResult.Breakdown.
-	Taxonomy map[string]int `json:"taxonomy"`
-	// Truth scores the matcher against generator ground-truth labels; nil
-	// when the dataset carries none (real data).
-	Truth *core.TruthScore `json:"truth,omitempty"`
-	// Shards holds per-input statistics when the input was a shard set
-	// (or an explicit path list); nil for a plain single file. The
-	// aggregate fields above never depend on how the corpus was split.
-	Shards []ShardStat `json:"shards,omitempty"`
-}
+// marshals to JSON (geovalidate -json), and the geoserve service caches
+// and serves the same representation; see core.StreamResult for the
+// field-name compatibility contract.
+type StreamResult = core.StreamResult
 
 // ShardStat describes one input stream of a multi-file validation run.
-type ShardStat struct {
-	// Path names the input (shard file name from the manifest, or the
-	// caller-supplied path).
-	Path string `json:"path"`
-	// Users is the number of users this input contributed.
-	Users int `json:"users"`
-	// Partition is this input's share of the Figure 1 split.
-	Partition core.Partition `json:"partition"`
-}
+type ShardStat = core.ShardStat
 
 // ValidateFile runs the full validation pipeline over a dataset file
 // with the paper's parameters and the default worker count. The path

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"geosocial/internal/trace"
+)
+
+// sampleResult builds a fully populated StreamResult.
+func sampleResult() *StreamResult {
+	return &StreamResult{
+		Name:   "primary",
+		Format: trace.FormatBinary,
+		Users:  7,
+		Partition: Partition{
+			Checkins: 100, Visits: 300, Honest: 25, Extraneous: 75, Missing: 270,
+		},
+		Taxonomy: map[string]int{"honest": 25, "superfluous": 30, "remote": 20, "driveby": 15, "other": 10},
+		Truth:    &TruthScore{Labeled: 100, Agree: 90, Accuracy: 0.9, HonestP: 0.8, HonestR: 0.7},
+		Shards: []ShardStat{
+			{Path: "primary-0000.bin", Users: 4, Partition: Partition{Checkins: 60}},
+			{Path: "primary-0001.bin", Users: 3, Partition: Partition{Checkins: 40}},
+		},
+	}
+}
+
+func TestStreamResultEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleResult()
+	data, err := want.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeStreamResult(data)
+	if err != nil {
+		t.Fatalf("DecodeStreamResult: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Equal results must encode to identical bytes — the property that lets
+// the geoserve cache serve responses byte-comparable to fresh ones.
+func TestStreamResultEncodeDeterministic(t *testing.T) {
+	a, err := sampleResult().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := sampleResult().Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("encoding of equal results differs:\n%s\n%s", a, b)
+		}
+	}
+}
+
+// The JSON field names are a compatibility contract between geovalidate
+// -json, the geoserve HTTP API, and the at-rest cache encoding. Pin the
+// exact key sets so a rename fails loudly here instead of silently
+// breaking one of the consumers.
+func TestStreamResultFieldNames(t *testing.T) {
+	data, err := sampleResult().Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	wantKeys := []string{"format", "name", "partition", "shards", "taxonomy", "truth", "users"}
+	for _, k := range wantKeys {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("StreamResult JSON is missing key %q", k)
+		}
+	}
+	if len(doc) != len(wantKeys) {
+		t.Errorf("StreamResult JSON has %d keys, want %d: %v", len(doc), len(wantKeys), keys(doc))
+	}
+
+	var part map[string]json.RawMessage
+	if err := json.Unmarshal(doc["partition"], &part); err != nil {
+		t.Fatalf("Unmarshal partition: %v", err)
+	}
+	for _, k := range []string{"checkins", "visits", "honest", "extraneous", "missing"} {
+		if _, ok := part[k]; !ok {
+			t.Errorf("Partition JSON is missing key %q", k)
+		}
+	}
+
+	var shards []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["shards"], &shards); err != nil {
+		t.Fatalf("Unmarshal shards: %v", err)
+	}
+	for _, k := range []string{"path", "users", "partition"} {
+		if _, ok := shards[0][k]; !ok {
+			t.Errorf("ShardStat JSON is missing key %q", k)
+		}
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestDecodeStreamResultRejectsGarbage(t *testing.T) {
+	if _, err := DecodeStreamResult([]byte("not json")); err == nil {
+		t.Fatal("DecodeStreamResult accepted garbage")
+	}
+}

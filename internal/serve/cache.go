@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU over encoded validation results,
+// keyed by dataset checksum. Entries are the serialized bytes of a
+// core.StreamResult (core.StreamResult.Encode), so a cached entry can be
+// served or decoded without touching the validator, and eviction frees
+// the full weight of the result.
+//
+// The cache is safe for concurrent use. Hit/miss counters feed the
+// /metrics endpoint.
+type resultCache struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List // front = most recently used
+	byKey        map[string]*list.Element
+	hits, misses int64
+}
+
+// cacheEntry is one key/value pair on the LRU list.
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// newResultCache returns an empty cache holding at most capacity
+// entries; capacity < 1 is normalized to 1 (a cache that can hold
+// nothing would make every repeat request a recomputation).
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached bytes for key and marks the entry most
+// recently used. The returned slice is shared — callers must not
+// mutate it.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts (or refreshes) key and evicts the least recently used
+// entries beyond capacity.
+func (c *resultCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the counters exported by /metrics.
+func (c *resultCache) Stats() (hits, misses int64, entries, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.capacity
+}

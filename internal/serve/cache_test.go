@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheEvictsLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b is now oldest
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s should survive", key)
+		}
+	}
+}
+
+func TestResultCachePutRefreshes(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A1"))
+	c.Put("b", []byte("B"))
+	c.Put("a", []byte("A2")) // refresh value and recency
+	c.Put("c", []byte("C"))  // evicts b, not a
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A2")) {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestResultCacheStats(t *testing.T) {
+	c := newResultCache(0) // normalized to 1
+	c.Put("a", []byte("A"))
+	c.Get("a")
+	c.Get("nope")
+	hits, misses, entries, capacity := c.Stats()
+	if hits != 1 || misses != 1 || entries != 1 || capacity != 1 {
+		t.Fatalf("stats = %d/%d/%d/%d", hits, misses, entries, capacity)
+	}
+}
+
+func TestResultCacheManyKeys(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	_, _, entries, _ := c.Stats()
+	if entries != 8 {
+		t.Fatalf("entries = %d, want 8", entries)
+	}
+	// Exactly the last 8 inserted survive.
+	for i := 92; i < 100; i++ {
+		if v, ok := c.Get(fmt.Sprintf("k%03d", i)); !ok || v[0] != byte(i) {
+			t.Fatalf("k%03d missing or wrong", i)
+		}
+	}
+}

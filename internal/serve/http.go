@@ -1,0 +1,271 @@
+package serve
+
+// HTTP surface of the validation service. Endpoints (full reference
+// with curl examples in docs/API.md):
+//
+//	POST /v1/datasets                 upload a dataset file (?wait=1 blocks)
+//	GET  /v1/datasets                 list jobs in arrival order
+//	GET  /v1/datasets/{id}            job status + full StreamResult when done
+//	GET  /v1/datasets/{id}/partition  the Figure 1 partition only
+//	GET  /v1/datasets/{id}/taxonomy   the §5.1 taxonomy only
+//	GET  /healthz                     liveness probe
+//	GET  /metrics                     plain-text counters
+//
+// All JSON responses are encoded exactly like geovalidate -json
+// (two-space indent), so service output and CLI output on the same
+// dataset are byte-comparable. The X-Cache header on result endpoints
+// is "hit" when the request was served from the result cache without
+// waiting on a validation, "miss" otherwise.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"geosocial/internal/core"
+)
+
+// maxUploadBytes caps an upload request body (1 GiB, far above any
+// study-scale dataset; a sharded corpus should be spooled, not
+// uploaded).
+const maxUploadBytes = 1 << 30
+
+// initMux wires the HTTP routes. Called once by New.
+func (s *Server) initMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleUpload)
+	mux.HandleFunc("GET /v1/datasets", s.handleList)
+	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDataset)
+	mux.HandleFunc("GET /v1/datasets/{id}/partition", s.handlePartition)
+	mux.HandleFunc("GET /v1/datasets/{id}/taxonomy", s.handleTaxonomy)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON writes v in the shared presentation encoding
+// (core.WriteIndentedJSON — the same call geovalidate -json makes), so
+// the two surfaces emit byte-identical documents for equal values.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	core.WriteIndentedJSON(w, v) //nolint:errcheck // nothing to do about a failed write
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError writes the error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// datasetResponse is the GET /v1/datasets/{id} body: job state plus the
+// full result once available.
+type datasetResponse struct {
+	JobInfo
+	// Result is the full validation result; present only when the job
+	// is done and its result is cached.
+	Result *core.StreamResult `json:"result,omitempty"`
+}
+
+// wantWait reports the ?wait=1 request flag.
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// handleUpload accepts a dataset file as the raw request body.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Upload(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		// Upload failures are server faults (spool I/O) unless the body
+		// exceeded the cap or the server is draining.
+		status := http.StatusInternalServerError
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			status = http.StatusRequestEntityTooLarge
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	cacheState := "miss"
+	if info.Status == StatusDone || info.Status == StatusFailed {
+		cacheState = "hit" // no validation ran for this request
+	} else if wantWait(r) {
+		info, _ = s.wait(info.ID, r.Context().Done())
+	}
+	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("Location", "/v1/datasets/"+info.ID)
+	status := http.StatusAccepted
+	if info.Status == StatusDone || info.Status == StatusFailed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+// handleList lists every job in arrival order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Datasets []JobInfo `json:"datasets"`
+	}{Datasets: s.Jobs()})
+}
+
+// loadResult resolves {id} to its job state and decoded result,
+// honouring ?wait=1 — including across an eviction-triggered
+// revalidation, so a waiting client always leaves with a result (or a
+// failure), never a transient 202. ok=false means the response has
+// been written.
+func (s *Server) loadResult(w http.ResponseWriter, r *http.Request) (info JobInfo, res *core.StreamResult, fromCache bool, ok bool) {
+	id := r.PathValue("id")
+	info, exists := s.Job(id)
+	if !exists {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", id)
+		return info, nil, false, false
+	}
+	fromCache = true
+	// Bounded retries: each pass either returns, waits for a terminal
+	// state, or observes an eviction re-queue (which the next pass
+	// waits out). More than a few passes means the cache is thrashing
+	// faster than we can read it; give up with the transient state.
+	for attempt := 0; attempt < 4; attempt++ {
+		if info.Status != StatusDone && info.Status != StatusFailed {
+			if !wantWait(r) {
+				return info, nil, fromCache, true
+			}
+			var finished bool
+			info, finished = s.wait(id, r.Context().Done())
+			fromCache = false // this request waited on a validation
+			if !finished {
+				if _, exists := s.Job(id); !exists {
+					// The job vanished mid-wait: its file was claimed as
+					// a shard by a manifest and the standalone dataset
+					// withdrawn.
+					writeError(w, http.StatusGone, "dataset %q was withdrawn (claimed by a shard manifest)", id)
+					return info, nil, fromCache, false
+				}
+				return info, nil, fromCache, true // cancelled or shutdown
+			}
+		}
+		if info.Status != StatusDone {
+			return info, nil, fromCache, true // failed
+		}
+		var data []byte
+		data, info, _ = s.result(id)
+		if data == nil {
+			// Evicted; result() re-queued a revalidation. A waiting
+			// client loops to wait it out, others get the transient
+			// state.
+			fromCache = false
+			if !wantWait(r) {
+				return info, nil, false, true
+			}
+			continue
+		}
+		res, err := core.DecodeStreamResult(data)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "corrupt cached result: %v", err)
+			return info, nil, fromCache, false
+		}
+		return info, res, fromCache, true
+	}
+	return info, nil, false, true
+}
+
+// setCache writes the X-Cache header.
+func setCache(w http.ResponseWriter, fromCache bool) {
+	state := "miss"
+	if fromCache {
+		state = "hit"
+	}
+	w.Header().Set("X-Cache", state)
+}
+
+// handleDataset serves job status plus the full result when done.
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	info, res, fromCache, ok := s.loadResult(w, r)
+	if !ok {
+		return
+	}
+	setCache(w, fromCache && res != nil)
+	status := http.StatusOK
+	if info.Status == StatusPending || info.Status == StatusRunning {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, datasetResponse{JobInfo: info, Result: res})
+}
+
+// handleNotReady reports a job that cannot serve a result yet (or ever,
+// for failed jobs).
+func handleNotReady(w http.ResponseWriter, info JobInfo) {
+	if info.Status == StatusFailed {
+		writeError(w, http.StatusUnprocessableEntity, "validation failed: %s", info.Error)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+// handlePartition serves only the Figure 1 partition of a validated
+// dataset — the endpoint the byte-identity contract is pinned against
+// (geoserve partition JSON == geovalidate -json partition field).
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	info, res, fromCache, ok := s.loadResult(w, r)
+	if !ok {
+		return
+	}
+	if res == nil {
+		handleNotReady(w, info)
+		return
+	}
+	setCache(w, fromCache)
+	writeJSON(w, http.StatusOK, res.Partition)
+}
+
+// handleTaxonomy serves only the §5.1 taxonomy counts.
+func (s *Server) handleTaxonomy(w http.ResponseWriter, r *http.Request) {
+	info, res, fromCache, ok := s.loadResult(w, r)
+	if !ok {
+		return
+	}
+	if res == nil {
+		handleNotReady(w, info)
+		return
+	}
+	setCache(w, fromCache)
+	writeJSON(w, http.StatusOK, res.Taxonomy)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the plain-text counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "geoserve_datasets_validated_total %d\n", m.DatasetsValidated)
+	fmt.Fprintf(w, "geoserve_validate_failures_total %d\n", m.ValidateFailures)
+	fmt.Fprintf(w, "geoserve_users_validated_total %d\n", m.UsersValidated)
+	fmt.Fprintf(w, "geoserve_users_per_second %.1f\n", m.UsersPerSecond)
+	fmt.Fprintf(w, "geoserve_uploads_total %d\n", m.Uploads)
+	fmt.Fprintf(w, "geoserve_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "geoserve_cache_misses_total %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "geoserve_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "geoserve_cache_capacity %d\n", m.CacheCapacity)
+	fmt.Fprintf(w, "geoserve_jobs_pending %d\n", m.JobsPending)
+	fmt.Fprintf(w, "geoserve_jobs_running %d\n", m.JobsRunning)
+	fmt.Fprintf(w, "geoserve_uptime_seconds %.1f\n", m.Uptime.Seconds())
+}

@@ -1,0 +1,837 @@
+// Package serve is the long-running validation service layer: it turns
+// the repository's batch validation pipeline into a daemon that ingests
+// datasets continuously and serves cached results over HTTP.
+//
+// A Server watches a spool directory (and accepts HTTP uploads into it)
+// for dataset files — JSON, binary GSB1, or shard-set manifests — and
+// validates each one through an injected ValidateFunc, which the
+// geosocial facade wires to the same streaming engine geovalidate uses
+// (core.ValidateStream / core.ValidateShards on the par worker pool).
+// Because the service and the CLI share one engine and validation is
+// deterministic for any worker count, serving a dataset yields results
+// byte-identical to running geovalidate on the same file.
+//
+// Results are cached in a fixed-capacity LRU keyed by dataset checksum
+// (sha256 over the file bytes; for shard sets, over the manifest's
+// semantic content plus every shard's bytes), so re-uploading or
+// re-spooling identical bytes never revalidates, and repeat fetches are
+// served straight from memory. Cached entries are the deterministic
+// encoding of core.StreamResult, which keeps cached and freshly
+// computed responses byte-comparable.
+//
+// Concurrency model: every dataset becomes a job; at most
+// Config.MaxJobs validations run at once (each using Config.Workers
+// pipeline workers), later jobs queue on a semaphore, and Close drains
+// running jobs before returning. The HTTP API is documented in
+// docs/API.md and served by Server.ServeHTTP.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"geosocial/internal/core"
+	"geosocial/internal/trace"
+)
+
+// ErrClosed is returned by Add and Upload once Close has begun.
+var ErrClosed = errors.New("serve: server is closed")
+
+// ValidateFunc validates one dataset path (a plain file, a shard-set
+// manifest, or a directory holding one) with the given worker count.
+// The geosocial facade supplies the canonical implementation; tests may
+// inject fakes. It must be safe for concurrent calls.
+type ValidateFunc func(path string, workers int) (*core.StreamResult, error)
+
+// Config configures a Server. Validate and SpoolDir are required; zero
+// values elsewhere select the documented defaults.
+type Config struct {
+	// SpoolDir is the watched dataset directory. Uploads are written
+	// here too, so a restarted server rediscovers everything it has ever
+	// accepted. Created if missing.
+	SpoolDir string
+	// Validate runs one validation (required; see ValidateFunc).
+	Validate ValidateFunc
+	// Workers is the per-job pipeline worker count passed to Validate
+	// (<= 0 selects GOMAXPROCS, exactly as everywhere else).
+	Workers int
+	// MaxJobs caps concurrent validations; further jobs queue in
+	// arrival order. <= 0 selects 2.
+	MaxJobs int
+	// CacheCapacity is the LRU result-cache size in entries; <= 0
+	// selects 64.
+	CacheCapacity int
+	// PollInterval is the spool scan period. 0 selects 2s; < 0 disables
+	// the watcher entirely (uploads still work).
+	PollInterval time.Duration
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (discovered, validated, failed, cache hit).
+	Logf func(format string, args ...any)
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states, in order. A job moves pending → running →
+// done | failed; a done job whose cached result was evicted moves back
+// to pending when its result is next requested.
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// JobInfo is the externally visible state of one dataset job, as served
+// by the HTTP API.
+type JobInfo struct {
+	// ID is the dataset checksum (hex sha256) — the cache key and the
+	// {id} of every per-dataset endpoint.
+	ID string `json:"id"`
+	// Path is the dataset's spool path, relative to the spool directory
+	// when it lives inside it.
+	Path string `json:"path"`
+	// Status is the job's lifecycle state.
+	Status Status `json:"status"`
+	// Error holds the validation failure message when Status is failed.
+	Error string `json:"error,omitempty"`
+	// Cached reports that the job completed without running a
+	// validation, because an identical dataset had already been
+	// validated and its result was still cached.
+	Cached bool `json:"cached"`
+	// Users is the validated user count (done jobs only).
+	Users int `json:"users,omitempty"`
+	// ElapsedMS is the wall-clock validation time in milliseconds (done
+	// and failed jobs that actually ran; 0 for cache-satisfied jobs).
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+}
+
+// job is the internal mutable job record. All fields are guarded by
+// Server.mu; done is closed exactly once per pending→terminal
+// transition (a fresh channel is made if an evicted job is re-queued).
+type job struct {
+	info JobInfo
+	done chan struct{}
+}
+
+// Server is the validation service. Construct with New, expose with
+// ServeHTTP (it implements http.Handler), and stop with Close.
+type Server struct {
+	cfg  Config
+	poll time.Duration
+	mux  *http.ServeMux
+
+	mu         sync.Mutex
+	jobs       map[string]*job   // checksum -> job
+	order      []string          // job IDs in arrival order, for listing
+	byPath     map[string]string // dataset path -> checksum
+	shardFiles map[string]bool   // spool paths claimed as shards by a manifest
+	closed     bool
+
+	cache *resultCache
+	sem   chan struct{} // MaxJobs tickets
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	metrics struct {
+		sync.Mutex
+		validated    int64 // validations actually run to completion
+		failures     int64 // validations that returned an error
+		users        int64 // users across completed validations
+		validateTime time.Duration
+		uploads      int64
+	}
+}
+
+// New validates the configuration, creates the spool directory, and
+// starts the spool watcher (unless disabled). The caller owns binding
+// the returned Server to an HTTP listener and must Close it when done.
+func New(cfg Config) (*Server, error) {
+	if cfg.Validate == nil {
+		return nil, fmt.Errorf("serve: Config.Validate is required")
+	}
+	if cfg.SpoolDir == "" {
+		return nil, fmt.Errorf("serve: Config.SpoolDir is required")
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o777); err != nil {
+		return nil, fmt.Errorf("serve: create spool: %w", err)
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 2
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 64
+	}
+	s := &Server{
+		cfg:        cfg,
+		poll:       cfg.PollInterval,
+		jobs:       make(map[string]*job),
+		byPath:     make(map[string]string),
+		shardFiles: make(map[string]bool),
+		cache:      newResultCache(cfg.CacheCapacity),
+		sem:        make(chan struct{}, cfg.MaxJobs),
+		stop:       make(chan struct{}),
+		start:      time.Now(),
+	}
+	if s.poll == 0 {
+		s.poll = 2 * time.Second
+	}
+	s.initMux()
+	if s.poll > 0 {
+		s.wg.Add(1)
+		go s.watch()
+	}
+	return s, nil
+}
+
+// logf forwards to Config.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Close stops the spool watcher, waits for running validations to
+// finish, and leaves queued jobs pending. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	return nil
+}
+
+// DatasetChecksum fingerprints a dataset on disk: hex sha256 over the
+// file bytes for a plain dataset file; for a shard-set manifest (or a
+// directory holding one) over the manifest's semantic content — dataset
+// name and POI-table checksum — followed by every shard's bytes in
+// manifest order. Two corpora with identical content hash identically
+// even if their manifest JSON is formatted differently. The checksum is
+// the service's dataset ID and cache key.
+func DatasetChecksum(path string) (string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("serve: checksum: %w", err)
+	}
+	if !info.IsDir() && !strings.HasSuffix(path, trace.ManifestSuffix) {
+		return fileChecksum(path)
+	}
+	ss, err := trace.OpenShardSet(path)
+	if err != nil {
+		return "", fmt.Errorf("serve: checksum: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "gsb1-shards\x00%s\x00%s\x00", ss.Manifest.Name, ss.Manifest.POIChecksum)
+	for _, sh := range ss.Manifest.Shards {
+		f, err := os.Open(filepath.Join(ss.Dir, sh.File))
+		if err != nil {
+			return "", fmt.Errorf("serve: checksum: %w", err)
+		}
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", fmt.Errorf("serve: checksum shard %s: %w", sh.File, err)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fileChecksum is hex sha256 over one file's bytes.
+func fileChecksum(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("serve: checksum: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("serve: checksum %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Add registers a dataset path (plain file, manifest, or directory
+// holding one) and returns its job state. Adding a path whose checksum
+// matches an already-cached result completes instantly without a
+// validation; adding a path already registered returns the current
+// state. Validation runs asynchronously — poll Job or wait on the HTTP
+// API.
+func (s *Server) Add(path string) (JobInfo, error) {
+	sum, err := DatasetChecksum(path)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return s.register(path, sum)
+}
+
+// displayPath returns path relative to the spool directory when it
+// lives inside it, so API responses don't leak server-local prefixes.
+func (s *Server) displayPath(path string) string {
+	if rel, err := filepath.Rel(s.cfg.SpoolDir, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// register binds path to the job for checksum sum, creating and
+// enqueueing the job if it does not exist. A checksum whose result is
+// still cached completes instantly (a cache hit).
+func (s *Server) register(path, sum string) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobInfo{}, ErrClosed
+	}
+	s.byPath[path] = sum
+	if j, ok := s.jobs[sum]; ok {
+		// A failed job is not a permanent verdict on the checksum:
+		// failures can be transient (I/O, a file caught mid-copy), so an
+		// explicit re-add or re-upload of the same bytes retries.
+		if j.info.Status == StatusFailed {
+			j.info.Status = StatusPending
+			j.info.Error = ""
+			j.info.ElapsedMS = 0
+			j.done = make(chan struct{})
+			s.logf("serve: %s: retrying failed validation (%s)", j.info.Path, shortID(sum))
+			s.enqueueLocked(j, path)
+		}
+		return j.info, nil
+	}
+	j := &job{
+		info: JobInfo{ID: sum, Path: s.displayPath(path), Status: StatusPending},
+		done: make(chan struct{}),
+	}
+	s.jobs[sum] = j
+	s.order = append(s.order, sum)
+	if data, hit := s.cache.Get(sum); hit {
+		// An identical dataset was validated earlier (under another
+		// path): serve its cached result, skip the recomputation.
+		j.info.Status = StatusDone
+		j.info.Cached = true
+		if res, err := core.DecodeStreamResult(data); err == nil {
+			j.info.Users = res.Users
+		}
+		close(j.done)
+		s.logf("serve: %s: cache hit (%s)", j.info.Path, shortID(sum))
+		return j.info, nil
+	}
+	s.logf("serve: %s: queued (%s)", j.info.Path, shortID(sum))
+	s.enqueueLocked(j, path)
+	return j.info, nil
+}
+
+// shortID abbreviates a checksum for log lines.
+func shortID(sum string) string {
+	if len(sum) > 12 {
+		return sum[:12]
+	}
+	return sum
+}
+
+// enqueueLocked starts the job's validation goroutine. Caller holds
+// s.mu; the job must be pending with an open done channel.
+func (s *Server) enqueueLocked(j *job, path string) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-s.stop:
+			return // shutdown: leave the job pending
+		}
+		// A slot freed by a draining job can be won after Close has
+		// begun; re-check so shutdown never starts new validations.
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		s.runJob(j, path)
+	}()
+}
+
+// runJob executes one validation and publishes the result to the cache
+// and the job record.
+func (s *Server) runJob(j *job, path string) {
+	s.mu.Lock()
+	j.info.Status = StatusRunning
+	s.mu.Unlock()
+
+	t0 := time.Now()
+	res, err := s.cfg.Validate(path, s.cfg.Workers)
+	elapsed := time.Since(t0)
+
+	var encoded []byte
+	if err == nil {
+		encoded, err = res.Encode()
+	}
+
+	s.metrics.Lock()
+	if err != nil {
+		s.metrics.failures++
+	} else {
+		s.metrics.validated++
+		s.metrics.users += int64(res.Users)
+		s.metrics.validateTime += elapsed
+	}
+	s.metrics.Unlock()
+
+	s.mu.Lock()
+	j.info.ElapsedMS = elapsed.Milliseconds()
+	if err != nil {
+		j.info.Status = StatusFailed
+		j.info.Error = err.Error()
+		s.logf("serve: %s: failed after %v: %v", j.info.Path, elapsed.Round(time.Millisecond), err)
+	} else {
+		s.cache.Put(j.info.ID, encoded)
+		j.info.Status = StatusDone
+		j.info.Users = res.Users
+		s.logf("serve: %s: validated %d users in %v (%s)",
+			j.info.Path, res.Users, elapsed.Round(time.Millisecond), shortID(j.info.ID))
+	}
+	close(j.done)
+	s.mu.Unlock()
+}
+
+// Job returns the current state of a dataset job by ID.
+func (s *Server) Job(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info, true
+}
+
+// Jobs returns every job in arrival order.
+func (s *Server) Jobs() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].info)
+	}
+	return out
+}
+
+// result returns the cached encoded result for a done job. When the
+// job is done but its result has been evicted, it re-queues the
+// validation (the spool still holds the bytes) and reports not-ready.
+func (s *Server) result(id string) (data []byte, info JobInfo, ok bool) {
+	s.mu.Lock()
+	j, exists := s.jobs[id]
+	if !exists {
+		s.mu.Unlock()
+		return nil, JobInfo{}, false
+	}
+	info = j.info
+	if j.info.Status != StatusDone {
+		s.mu.Unlock()
+		return nil, info, true
+	}
+	if data, ok = s.cache.Get(id); ok {
+		s.mu.Unlock()
+		return data, info, true
+	}
+	// Evicted: revalidate from the spool.
+	if s.closed {
+		s.mu.Unlock()
+		return nil, info, true // shutdown: transient, no state change
+	}
+	path := s.pathForLocked(id)
+	if path == "" {
+		// No spool copy survives to recompute from: the result is gone
+		// for good. Flip to failed (retryable by re-adding the bytes)
+		// instead of reporting "done" with no result forever.
+		j.info.Status = StatusFailed
+		j.info.Error = "cached result evicted and no spool copy remains"
+		info = j.info
+		s.logf("serve: %s: %s", j.info.Path, j.info.Error)
+		s.mu.Unlock()
+		return nil, info, true
+	}
+	j.info.Status = StatusPending
+	j.info.Cached = false
+	j.info.Users = 0
+	j.info.ElapsedMS = 0
+	j.done = make(chan struct{})
+	info = j.info
+	s.logf("serve: %s: result evicted, revalidating", j.info.Path)
+	s.enqueueLocked(j, path)
+	s.mu.Unlock()
+	return nil, info, true
+}
+
+// pathForLocked finds a registered path for a checksum that still
+// exists on disk (caller holds s.mu) — a revalidation must not be sent
+// to a path the operator has since deleted while the same bytes remain
+// under another name. The lowest surviving path in sort order wins, for
+// determinism when several spool files share content.
+func (s *Server) pathForLocked(id string) string {
+	var paths []string
+	for p, sum := range s.byPath {
+		if sum == id {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+	}
+	return ""
+}
+
+// wait blocks until the job reaches a terminal state, the request
+// context is cancelled, or the server stops. It returns the job's
+// latest state and whether a terminal state was reached.
+func (s *Server) wait(id string, cancel <-chan struct{}) (JobInfo, bool) {
+	for {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		if !ok {
+			s.mu.Unlock()
+			return JobInfo{}, false
+		}
+		info := j.info
+		done := j.done
+		s.mu.Unlock()
+		switch info.Status {
+		case StatusDone, StatusFailed:
+			return info, true
+		}
+		select {
+		case <-done:
+		case <-cancel:
+			return info, false
+		case <-s.stop:
+			return info, false
+		}
+	}
+}
+
+// Upload streams a dataset into the spool directory, computing its
+// checksum on the way in, and registers it like a spooled file. The
+// stored file is named by the full checksum, so uploads are
+// content-addressed: re-uploading identical bytes lands on the same
+// file and the same job (and retries it if the previous attempt
+// failed), never a duplicate validation of cached content.
+func (s *Server) Upload(r io.Reader) (JobInfo, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobInfo{}, ErrClosed
+	}
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(s.cfg.SpoolDir, ".upload-*")
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("serve: upload: %w", err)
+	}
+	tmpPath := tmp.Name()
+	h := sha256.New()
+	_, err = io.Copy(io.MultiWriter(tmp, h), r)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return JobInfo{}, fmt.Errorf("serve: upload: %w", err)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+
+	s.metrics.Lock()
+	s.metrics.uploads++
+	s.metrics.Unlock()
+
+	// The full checksum names the file, so renaming over an existing
+	// upload can only replace identical bytes.
+	final := filepath.Join(s.cfg.SpoolDir, "upload-"+sum+".dataset")
+	if err := os.Rename(tmpPath, final); err != nil {
+		os.Remove(tmpPath)
+		return JobInfo{}, fmt.Errorf("serve: upload: %w", err)
+	}
+	return s.register(final, sum)
+}
+
+// --- spool watcher ---
+
+// datasetSuffixes are the spool file endings the watcher considers
+// datasets. ".dataset" is the neutral suffix Upload stores under (the
+// codec sniffs the real encoding from magic bytes, never the name).
+var datasetSuffixes = []string{
+	".json", ".json.gz", ".bin", ".bin.gz", ".dataset", trace.ManifestSuffix,
+}
+
+// spoolCandidate reports whether a spool file name looks like a
+// dataset. Temporary files (upload staging, atomic-save temps) are
+// excluded.
+func spoolCandidate(name string) bool {
+	if strings.HasPrefix(name, ".") || strings.Contains(name, ".tmp-") {
+		return false
+	}
+	for _, suf := range datasetSuffixes {
+		if strings.HasSuffix(name, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanState is the watcher's stability memory: a file is only ingested
+// once its size and mtime are unchanged across two consecutive scans,
+// so a dataset still being copied into the spool is never read early.
+type scanState struct {
+	size  int64
+	mtime time.Time
+}
+
+// spoolMemory is the watcher's per-path state across scans.
+type spoolMemory struct {
+	// prev is each path's last observed size/mtime (stability check).
+	prev map[string]scanState
+	// ingested is the state a path had when it was last handed to Add
+	// (successfully or not): a path at its ingested state is settled —
+	// neither revalidated nor re-checksummed — until it is rewritten.
+	ingested map[string]scanState
+	// manifests memoizes each manifest's parse, keyed by path, so a
+	// settled manifest is not re-read and re-parsed on every tick.
+	manifests map[string]manifestMemo
+}
+
+// manifestMemo is one manifest's cached parse: the file state it was
+// parsed at and the shard paths it claims (nil when the document was
+// malformed — rewriting the file re-parses).
+type manifestMemo struct {
+	state  scanState
+	shards []string
+}
+
+// watch polls the spool directory until Close.
+func (s *Server) watch() {
+	defer s.wg.Done()
+	mem := &spoolMemory{
+		prev:      make(map[string]scanState),
+		ingested:  make(map[string]scanState),
+		manifests: make(map[string]manifestMemo),
+	}
+	t := time.NewTicker(s.poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.scanSpool(mem)
+		}
+	}
+}
+
+// scanSpool performs one watcher pass: refresh the shard-exclusion set
+// from every manifest present, then hand stable unclaimed dataset files
+// to Add. Manifests are registered as a whole — their shards are
+// validated through them, never individually — and a file rewritten in
+// place is re-ingested once it is stable again (its new checksum maps
+// to a new job; the old job's history remains listed).
+func (s *Server) scanSpool(mem *spoolMemory) {
+	entries, err := os.ReadDir(s.cfg.SpoolDir)
+	if err != nil {
+		s.logf("serve: spool scan: %v", err)
+		return
+	}
+
+	// Pass 1: manifests claim their shard files. A shard that was
+	// ingested standalone before its manifest appeared (shards are
+	// published first, the manifest last) is un-registered here, so the
+	// set converges to one job per corpus. Claims are rebuilt from the
+	// manifests present each scan — deleting a manifest releases its
+	// shards, so a kept shard file can later be ingested standalone —
+	// and parses are memoized by file state, so settled manifests cost
+	// one Stat per tick, not a read + parse.
+	claimed := make(map[string]bool)
+	seenManifests := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), trace.ManifestSuffix) {
+			continue
+		}
+		path := filepath.Join(s.cfg.SpoolDir, e.Name())
+		seenManifests[path] = true
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		st := scanState{size: info.Size(), mtime: info.ModTime()}
+		memo, ok := mem.manifests[path]
+		if !ok || memo.state != st {
+			memo = manifestMemo{state: st}
+			if ss, err := trace.OpenShardSet(path); err == nil {
+				for _, sh := range ss.Manifest.Shards {
+					memo.shards = append(memo.shards, filepath.Join(ss.Dir, sh.File))
+				}
+			} // else: malformed document, claims nothing until rewritten
+			mem.manifests[path] = memo
+		}
+		for _, p := range memo.shards {
+			claimed[p] = true
+		}
+	}
+	for path := range mem.manifests {
+		if !seenManifests[path] {
+			delete(mem.manifests, path)
+		}
+	}
+	s.mu.Lock()
+	for p := range claimed {
+		if !s.shardFiles[p] {
+			s.dropPathLocked(p)
+			// Forget the path's settled state: if it is ever released
+			// again it must re-ingest from scratch.
+			delete(mem.ingested, p)
+			delete(mem.prev, p)
+		}
+	}
+	for p := range s.shardFiles {
+		if !claimed[p] {
+			// Released (its manifest is gone): a kept file becomes an
+			// ordinary ingest candidate with fresh stability tracking.
+			delete(mem.ingested, p)
+			delete(mem.prev, p)
+		}
+	}
+	s.shardFiles = claimed
+	s.mu.Unlock()
+
+	// Pass 2: stable, unclaimed candidates not yet ingested at their
+	// current state become jobs.
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !spoolCandidate(e.Name()) {
+			continue
+		}
+		path := filepath.Join(s.cfg.SpoolDir, e.Name())
+		seen[path] = true
+		s.mu.Lock()
+		claimed := s.shardFiles[path]
+		s.mu.Unlock()
+		if claimed {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		st := scanState{size: info.Size(), mtime: info.ModTime()}
+		last, sighted := mem.prev[path]
+		mem.prev[path] = st
+		if !sighted || last != st {
+			continue // first sighting or still changing; wait a scan
+		}
+		if mem.ingested[path] == st {
+			continue // settled: already ingested (or failed) at this state
+		}
+		// Record the state before Add so a persistently broken file is
+		// checksummed once, not on every scan; rewriting it changes the
+		// state and retries.
+		mem.ingested[path] = st
+		if _, err := s.Add(path); err != nil {
+			s.logf("serve: spool %s: %v", e.Name(), err)
+		}
+	}
+	for path := range mem.prev {
+		if !seen[path] {
+			delete(mem.prev, path)
+			delete(mem.ingested, path)
+		}
+	}
+}
+
+// dropPathLocked removes a path's standalone registration (caller holds
+// s.mu): the path-to-checksum binding goes away, and the job itself is
+// removed when no other path shares its dataset. Used when a manifest
+// claims a file that had been ingested as its own dataset.
+func (s *Server) dropPathLocked(path string) {
+	sum, ok := s.byPath[path]
+	if !ok {
+		return
+	}
+	delete(s.byPath, path)
+	for _, other := range s.byPath {
+		if other == sum {
+			return // the dataset is still reachable via another path
+		}
+	}
+	delete(s.jobs, sum)
+	for i, id := range s.order {
+		if id == sum {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.logf("serve: %s: claimed as a shard, standalone job dropped", s.displayPath(path))
+}
+
+// Metrics is a point-in-time snapshot of the service counters, exposed
+// as plain text by /metrics.
+type Metrics struct {
+	DatasetsValidated int64         // validations run to completion
+	ValidateFailures  int64         // validations that errored
+	UsersValidated    int64         // users across completed validations
+	ValidateTime      time.Duration // wall-clock spent validating
+	UsersPerSecond    float64       // UsersValidated / ValidateTime
+	Uploads           int64         // HTTP uploads accepted
+	CacheHits         int64         // results served without recomputation
+	CacheMisses       int64         // cache lookups that missed
+	CacheEntries      int           // results currently cached
+	CacheCapacity     int           // LRU capacity
+	JobsPending       int64         // jobs waiting for a slot
+	JobsRunning       int64         // validations in flight
+	Uptime            time.Duration // since New
+}
+
+// Snapshot collects the current Metrics.
+func (s *Server) Snapshot() Metrics {
+	var m Metrics
+	s.metrics.Lock()
+	m.DatasetsValidated = s.metrics.validated
+	m.ValidateFailures = s.metrics.failures
+	m.UsersValidated = s.metrics.users
+	m.ValidateTime = s.metrics.validateTime
+	m.Uploads = s.metrics.uploads
+	s.metrics.Unlock()
+	if m.ValidateTime > 0 {
+		m.UsersPerSecond = float64(m.UsersValidated) / m.ValidateTime.Seconds()
+	}
+	m.CacheHits, m.CacheMisses, m.CacheEntries, m.CacheCapacity = s.cache.Stats()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		switch j.info.Status {
+		case StatusPending:
+			m.JobsPending++
+		case StatusRunning:
+			m.JobsRunning++
+		}
+	}
+	s.mu.Unlock()
+	m.Uptime = time.Since(s.start)
+	return m
+}

@@ -664,6 +664,7 @@ func SourceFrames(src UserSource) FrameSource { return userFrames{src} }
 
 type userFrames struct{ src UserSource }
 
+// NextFrame wraps the source's next user in a pre-decoded frame.
 func (s userFrames) NextFrame() (Frame, error) {
 	u, err := s.src.Next()
 	if err != nil {
@@ -672,6 +673,7 @@ func (s userFrames) NextFrame() (Frame, error) {
 	return Frame{user: u}, nil
 }
 
+// DecodeFrame unwraps a pre-decoded frame (there is nothing to decode).
 func (s userFrames) DecodeFrame(f Frame) (*User, error) { return f.user, nil }
 
 // readString reads a uvarint-prefixed string from a header stream.

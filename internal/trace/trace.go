@@ -273,6 +273,7 @@ type sliceSource struct {
 	pos   int
 }
 
+// Next yields the slice's users in order, then io.EOF.
 func (s *sliceSource) Next() (*User, error) {
 	if s.pos >= len(s.users) {
 		return nil, io.EOF

@@ -1,0 +1,69 @@
+package geosocial
+
+// Service entry points: the facade wiring that turns the streaming
+// validation engine into the long-running geoserve service. The
+// internal/serve package owns spool watching, job scheduling, the LRU
+// result cache and the HTTP API; validation itself is injected from
+// here, so the service runs the exact engine geovalidate runs — which
+// is what makes served partitions byte-identical to CLI output on the
+// same dataset, for any worker count.
+
+import (
+	"fmt"
+	"time"
+
+	"geosocial/internal/serve"
+)
+
+// ServerOptions configures NewServer. The zero value serves the current
+// directory as the spool with the paper's validation parameters.
+type ServerOptions struct {
+	// SpoolDir is the watched dataset directory; uploads land here too.
+	// Empty selects "." (required by the underlying service, created if
+	// missing).
+	SpoolDir string
+	// MaxJobs caps concurrent validations (<= 0 selects 2). Each job
+	// additionally fans out per-user work onto Stream.Workers workers.
+	MaxJobs int
+	// CacheCapacity is the result-cache size in datasets (<= 0 selects
+	// 64). Results are cached by dataset checksum; identical bytes are
+	// never validated twice while cached.
+	CacheCapacity int
+	// PollInterval is the spool scan period (0 selects 2s, < 0 disables
+	// the watcher; uploads still work).
+	PollInterval time.Duration
+	// Stream carries the validation parameters and worker count every
+	// job runs with, exactly as ValidateFileOpts interprets them.
+	Stream StreamOptions
+	// Logf, when non-nil, receives one line per service lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// NewServer constructs the validation service: a spool-watching,
+// upload-accepting HTTP server (it implements http.Handler) that
+// validates datasets through this package's streaming engine and caches
+// results by dataset checksum. The caller binds it to a listener
+// (cmd/geoserve does) and must Close it on shutdown; see docs/API.md
+// for the endpoints.
+func NewServer(opts ServerOptions) (*serve.Server, error) {
+	if opts.SpoolDir == "" {
+		opts.SpoolDir = "."
+	}
+	srv, err := serve.New(serve.Config{
+		SpoolDir:      opts.SpoolDir,
+		Workers:       opts.Stream.Workers,
+		MaxJobs:       opts.MaxJobs,
+		CacheCapacity: opts.CacheCapacity,
+		PollInterval:  opts.PollInterval,
+		Logf:          opts.Logf,
+		Validate: func(path string, workers int) (*StreamResult, error) {
+			o := opts.Stream
+			o.Workers = workers
+			return ValidateFileOpts(path, o)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	return srv, nil
+}
