@@ -1,0 +1,178 @@
+// Command geoanalyze runs the §5–§7 analyses over a GSO1 outcome log
+// written by geovalidate -outcomes (or the geoserve service): Table 2
+// feature correlations, the extraneous-checkin detectors, the §5.3
+// user-filtering trade-off, and the §6.1 Levy mobility fits — all
+// streamed from the log, without revalidating or holding per-user
+// outcomes in memory.
+//
+// Usage:
+//
+//	geoanalyze summary      -in out.gso         # partition, taxonomy, truth
+//	geoanalyze correlations -in out.gso         # Table 2
+//	geoanalyze detector     -in out.gso -folds 5 -threshold 0.5 -gap 2m
+//	geoanalyze levy         -in out.gso         # §6.1 model parameters
+//	geoanalyze tradeoff     -in out.gso         # §5.3 filtering dilemma
+//	geoanalyze levy         -in out.gso -json   # machine-readable report
+//
+// Results are exactly equal to running the same analysis on in-memory
+// outcomes of the same dataset: the log stores exact float bits in
+// canonical user order, and both paths share one implementation per
+// analysis.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"geosocial"
+	"geosocial/internal/classify"
+	"geosocial/internal/core"
+)
+
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geoanalyze: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run executes the tool against args, writing its report to stdout. It
+// is the whole tool minus process concerns, so tests can drive it
+// directly.
+func run(args []string, stdout io.Writer) error {
+	kinds := strings.Join(geosocial.AnalysisKinds(), "|")
+	if len(args) == 0 {
+		return fmt.Errorf("missing analysis kind: geoanalyze %s -in out.gso", kinds)
+	}
+	kind := args[0]
+	if strings.HasPrefix(kind, "-") {
+		return fmt.Errorf("the analysis kind comes first: geoanalyze %s -in out.gso", kinds)
+	}
+
+	fs := flag.NewFlagSet("geoanalyze "+kind, flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "", "outcome log written by geovalidate -outcomes")
+		asJSON    = fs.Bool("json", false, "emit the analysis report as JSON instead of text")
+		folds     = fs.Int("folds", 5, "detector cross-validation folds")
+		threshold = fs.Float64("threshold", 0.5, "detector decision threshold")
+		gap       = fs.Duration("gap", 2*time.Minute, "burstiness detector gap threshold")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in outcome log (write one with geovalidate -outcomes)")
+	}
+	// A non-positive threshold would be silently replaced by the
+	// default (the zero value means "unset" in AnalyzeOptions), so
+	// reject it loudly; scores are strictly inside (0, 1) anyway.
+	if kind == geosocial.AnalysisDetector && (*threshold <= 0 || *threshold >= 1) {
+		return fmt.Errorf("-threshold must be in (0, 1), got %g", *threshold)
+	}
+
+	a, err := geosocial.AnalyzeOutcomesOpts(*in, kind, geosocial.AnalyzeOptions{
+		Folds:     *folds,
+		Threshold: *threshold,
+		BurstGap:  *gap,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		// The shared presentation encoding keeps this output
+		// byte-comparable with the geoserve analysis endpoints.
+		return core.WriteIndentedJSON(stdout, a)
+	}
+	return render(stdout, a)
+}
+
+// render writes the human-readable report for one analysis.
+func render(w io.Writer, a *geosocial.OutcomeAnalysis) error {
+	fmt.Fprintf(w, "dataset %q: %d users, %d checkins (%s)\n", a.Dataset, a.Users, a.Checkins, a.Kind)
+	switch {
+	case a.Summary != nil:
+		sm := a.Summary
+		fmt.Fprintf(w, "partition: %v\n", sm.Partition)
+		fmt.Fprintln(w, "checkin taxonomy:")
+		for _, k := range []classify.Kind{classify.Honest, classify.Superfluous, classify.Remote, classify.Driveby, classify.Other} {
+			fmt.Fprintf(w, "  %-12s %6d\n", k, sm.Taxonomy[k.String()])
+		}
+		if sm.Truth != nil {
+			fmt.Fprintf(w, "matcher vs ground truth: accuracy %.3f, honest precision %.3f, recall %.3f\n",
+				sm.Truth.Accuracy, sm.Truth.HonestP, sm.Truth.HonestR)
+		}
+
+	case a.Correlations != nil:
+		c := a.Correlations
+		fmt.Fprintf(w, "feature correlations (Table 2, %d users):\n", c.Users)
+		fmt.Fprintf(w, "  %-12s", "")
+		for _, f := range c.Features {
+			fmt.Fprintf(w, " %13s", f)
+		}
+		fmt.Fprintln(w)
+		names := make([]string, 0, len(c.Rows))
+		for name := range c.Rows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "  %-12s", name)
+			for _, v := range c.Rows[name] {
+				fmt.Fprintf(w, " %13.3f", v)
+			}
+			fmt.Fprintln(w)
+		}
+
+	case a.Detector != nil:
+		d := a.Detector
+		fmt.Fprintf(w, "learned detector (%d-fold CV over %d examples, threshold %.2f):\n",
+			d.Folds, d.Examples, d.Threshold)
+		fmt.Fprintf(w, "  precision %.3f recall %.3f F1 %.3f accuracy %.3f (tp=%d fp=%d tn=%d fn=%d)\n",
+			d.Precision, d.Recall, d.F1, d.Accuracy, d.TP, d.FP, d.TN, d.FN)
+		fmt.Fprintf(w, "burstiness baseline (gap %.0fs): precision %.3f recall %.3f F1 %.3f\n",
+			d.Burst.GapSeconds, d.Burst.Precision, d.Burst.Recall, d.Burst.F1)
+
+	case a.Levy != nil:
+		fmt.Fprintln(w, "Levy-walk model fits (§6.1):")
+		for _, m := range []struct {
+			name string
+			r    geosocial.LevyModelReport
+		}{
+			{"gps", a.Levy.GPS},
+			{"honest-checkin", a.Levy.Honest},
+			{"all-checkin", a.Levy.All},
+		} {
+			fmt.Fprintf(w, "  %-15s flights=%d pareto(xm=%.3fkm alpha=%.2f max=%.1fkm) t=%.2f*d^%.2f pause(xm=%.0fmin alpha=%.2f)\n",
+				m.name, m.r.Flights, m.r.FlightXmKm, m.r.FlightAlpha, m.r.FlightMaxKm,
+				m.r.MoveTimeK, m.r.MoveTimeExp, m.r.PauseXmMin, m.r.PauseAlpha)
+		}
+
+	case a.Tradeoff != nil:
+		t := a.Tradeoff
+		fmt.Fprintf(w, "user-filtering trade-off (§5.3, %d users with checkins):\n", t.CurveUsers)
+		fmt.Fprintf(w, "  %-22s %-15s %s\n", "extraneous removed", "users dropped", "honest lost")
+		for _, tg := range t.Targets {
+			fmt.Fprintf(w, "  %-22s %-15d %.0f%%\n",
+				fmt.Sprintf(">= %.0f%%", 100*tg.TargetExtraneous), tg.UsersDropped, 100*tg.HonestLost)
+		}
+	}
+	return nil
+}

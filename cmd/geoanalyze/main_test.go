@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geosocial"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+// genLog validates a tiny dataset with an outcome sink and returns the
+// log path.
+func genLog(t *testing.T) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.05), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "primary.bin.gz")
+	if err := ds.SaveFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "primary.gso")
+	if _, err := geosocial.ValidateFileOpts(binPath, geosocial.StreamOptions{OutcomeLog: logPath}); err != nil {
+		t.Fatal(err)
+	}
+	return logPath
+}
+
+func TestRunAllKinds(t *testing.T) {
+	logPath := genLog(t)
+	wants := map[string][]string{
+		"summary":      {"partition:", "checkin taxonomy:", "matcher vs ground truth"},
+		"correlations": {"feature correlations", "#Friends", "superfluous"},
+		"detector":     {"learned detector", "burstiness baseline", "precision"},
+		"levy":         {"Levy-walk model fits", "gps", "honest-checkin", "all-checkin"},
+		"tradeoff":     {"user-filtering trade-off", "users dropped", ">= 80%"},
+	}
+	if len(wants) != len(geosocial.AnalysisKinds()) {
+		t.Fatalf("test covers %d kinds, facade offers %d", len(wants), len(geosocial.AnalysisKinds()))
+	}
+	for kind, markers := range wants {
+		t.Run(kind, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{kind, "-in", logPath}, &out); err != nil {
+				t.Fatal(err)
+			}
+			got := out.String()
+			if !strings.Contains(got, `dataset "primary"`) {
+				t.Errorf("report missing dataset header:\n%s", got)
+			}
+			for _, want := range markers {
+				if !strings.Contains(got, want) {
+					t.Errorf("%s report missing %q:\n%s", kind, want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	logPath := genLog(t)
+	var out bytes.Buffer
+	if err := run([]string{"levy", "-in", logPath, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc["kind"] != "levy" || doc["dataset"] != "primary" {
+		t.Errorf("JSON header fields: kind=%v dataset=%v", doc["kind"], doc["dataset"])
+	}
+	levy, ok := doc["levy"].(map[string]any)
+	if !ok {
+		t.Fatalf("JSON missing levy report: %v", doc)
+	}
+	for _, model := range []string{"gps", "honest_checkin", "all_checkin"} {
+		if _, ok := levy[model]; !ok {
+			t.Errorf("levy report missing model %q", model)
+		}
+	}
+}
+
+func TestRunRejectsBadInvocation(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error without a kind")
+	}
+	if err := run([]string{"-in", "x.gso"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error when the kind is missing before flags")
+	}
+	if err := run([]string{"summary"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error when -in is missing")
+	}
+	logPath := genLog(t)
+	if err := run([]string{"nonsense", "-in", logPath}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown analysis kind") {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+}

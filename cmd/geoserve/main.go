@@ -19,12 +19,24 @@
 //	GET  /v1/datasets/{id}            status + full StreamResult JSON
 //	GET  /v1/datasets/{id}/partition  Figure 1 partition
 //	GET  /v1/datasets/{id}/taxonomy   §5.1 taxonomy
+//	GET  /v1/datasets/{id}/outcomes   raw GSO1 outcome log bytes
+//	GET  /v1/datasets/{id}/analysis/{kind}  §5–§7 analysis (summary,
+//	                                  correlations, detector, levy, tradeoff)
 //	GET  /healthz                     liveness
 //	GET  /metrics                     plain-text counters
 //
 // Results are byte-identical to geovalidate -json on the same dataset
-// for any -workers value. The server shuts down gracefully on SIGINT /
-// SIGTERM: in-flight validations and HTTP requests drain before exit.
+// for any -workers value, and analysis documents to geoanalyze -json
+// on the dataset's outcome log. Results and analyses persist in a
+// "cache" directory under the spool (content-addressed by checksum,
+// namespaced by a validation-parameter fingerprint), so a restarted
+// server never revalidates bytes it has already seen — and never
+// reuses results computed under different parameters; -no-disk-cache
+// keeps the cache memory-only, -disk-cache-max bounds it. Outcome
+// logs live under "outcomes" in the spool (-outcomes-max bounds
+// them); -outcomes=false disables them and the analysis endpoints.
+// The server shuts down gracefully on SIGINT / SIGTERM: in-flight
+// validations and HTTP requests drain before exit.
 package main
 
 import (
@@ -67,12 +79,16 @@ func main() {
 func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geoserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "HTTP listen address")
-		spool   = fs.String("spool", "", "spool directory watched for datasets (required; created if missing)")
-		workers = fs.Int("workers", 0, "per-job pipeline workers (0 = all cores, 1 = serial; results are identical)")
-		maxJobs = fs.Int("max-jobs", 2, "concurrent validations; further datasets queue")
-		cache   = fs.Int("cache", 64, "result-cache capacity in datasets (LRU, keyed by checksum)")
-		poll    = fs.Duration("poll", 2*time.Second, "spool scan interval")
+		addr         = fs.String("addr", ":8080", "HTTP listen address")
+		spool        = fs.String("spool", "", "spool directory watched for datasets (required; created if missing)")
+		workers      = fs.Int("workers", 0, "per-job pipeline workers (0 = all cores, 1 = serial; results are identical)")
+		maxJobs      = fs.Int("max-jobs", 2, "concurrent validations; further datasets queue")
+		cache        = fs.Int("cache", 64, "result-cache capacity in datasets (LRU, keyed by checksum)")
+		poll         = fs.Duration("poll", 2*time.Second, "spool scan interval")
+		outcomes     = fs.Bool("outcomes", true, "retain per-dataset outcome logs and serve the analysis endpoints")
+		outcomesMax  = fs.Int("outcomes-max", 0, "max retained outcome logs, oldest pruned first (0 = unbounded)")
+		noDiskCache  = fs.Bool("no-disk-cache", false, "keep the result cache memory-only (no cache/ dir under the spool)")
+		diskCacheMax = fs.Int("disk-cache-max", 0, "max persisted result/analysis entries, oldest pruned first (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,11 +101,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv, err := geosocial.NewServer(geosocial.ServerOptions{
-		SpoolDir:      *spool,
-		MaxJobs:       *maxJobs,
-		CacheCapacity: *cache,
-		PollInterval:  *poll,
-		Stream:        geosocial.StreamOptions{Workers: *workers},
+		SpoolDir:       *spool,
+		MaxJobs:        *maxJobs,
+		CacheCapacity:  *cache,
+		PollInterval:   *poll,
+		Outcomes:       *outcomes,
+		MaxOutcomeLogs: *outcomesMax,
+		NoDiskCache:    *noDiskCache,
+		MaxDiskCache:   *diskCacheMax,
+		Stream:         geosocial.StreamOptions{Workers: *workers},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},

@@ -12,6 +12,7 @@
 //	geovalidate -in primary.json.gz -alpha 250 -beta 15m
 //	geovalidate -in primary.json.gz -workers 8    # validate users on 8 workers
 //	geovalidate -in primary.bin.gz -json          # machine-readable StreamResult
+//	geovalidate -in primary.bin.gz -outcomes out.gso   # + columnar outcome log
 //
 // The dataset encoding (JSON or binary, gzip or not) is detected from
 // magic bytes, not the file name. Binary datasets are validated one
@@ -25,6 +26,12 @@
 // The -workers flag controls per-user pipeline parallelism (0 = all
 // cores); results are identical for any worker count and for the
 // streaming and in-memory paths.
+//
+// With -outcomes the run additionally writes a GSO1 columnar outcome
+// log (gzip when the path ends in ".gz"): one compact record per user
+// carrying everything the §5–§7 analyses need, for geoanalyze to
+// consume without revalidating. The log bytes are identical for any
+// -workers value and for any shard split of the same dataset.
 package main
 
 import (
@@ -61,12 +68,13 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geovalidate", flag.ContinueOnError)
 	var (
-		in      = fs.String("in", "", "dataset file, shard manifest, or directory holding one manifest")
-		alpha   = fs.Float64("alpha", 500, "spatial matching threshold in meters")
-		beta    = fs.Duration("beta", 30*time.Minute, "temporal matching threshold")
-		truth   = fs.Bool("truth", true, "score the matcher against ground-truth labels when present")
-		workers = fs.Int("workers", 0, "per-user pipeline workers (0 = all cores, 1 = serial; results are identical)")
-		asJSON  = fs.Bool("json", false, "emit the full StreamResult as JSON instead of the text report")
+		in       = fs.String("in", "", "dataset file, shard manifest, or directory holding one manifest")
+		alpha    = fs.Float64("alpha", 500, "spatial matching threshold in meters")
+		beta     = fs.Duration("beta", 30*time.Minute, "temporal matching threshold")
+		truth    = fs.Bool("truth", true, "score the matcher against ground-truth labels when present")
+		workers  = fs.Int("workers", 0, "per-user pipeline workers (0 = all cores, 1 = serial; results are identical)")
+		asJSON   = fs.Bool("json", false, "emit the full StreamResult as JSON instead of the text report")
+		outcomes = fs.String("outcomes", "", "write a GSO1 outcome log here for geoanalyze (gzip when ending in .gz)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -78,8 +86,9 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("missing -in dataset file (generate one with geogen)")
 	}
 	res, err := geosocial.ValidateFileOpts(*in, geosocial.StreamOptions{
-		Params:  core.Params{Alpha: *alpha, Beta: *beta},
-		Workers: *workers,
+		Params:     core.Params{Alpha: *alpha, Beta: *beta},
+		Workers:    *workers,
+		OutcomeLog: *outcomes,
 	})
 	if err != nil {
 		return err
@@ -111,6 +120,9 @@ func run(args []string, stdout io.Writer) error {
 	for _, st := range res.Shards {
 		fmt.Fprintf(stdout, "shard %s: %d users, honest=%d extraneous=%d missing=%d\n",
 			st.Path, st.Users, st.Partition.Honest, st.Partition.Extraneous, st.Partition.Missing)
+	}
+	if *outcomes != "" {
+		fmt.Fprintf(stdout, "outcome log: %s (analyze with geoanalyze)\n", *outcomes)
 	}
 	return nil
 }

@@ -1,14 +1,18 @@
 // Detector: the paper's §7 open problem — detecting extraneous checkins
-// without GPS ground truth. This example sweeps the burstiness detector's
-// gap threshold, prints the precision/recall trade-off, and contrasts it
-// with the §5.3 user-level filtering dilemma (dropping the worst users
-// sacrifices half the honest checkins).
+// without GPS ground truth — run end to end through the columnar
+// outcome log. The example generates a study, saves it as a binary
+// dataset, validates it with an outcome sink (one compact GSO1 record
+// per user, no outcomes retained in memory), and then trains and
+// evaluates the detectors from the log alone: exactly the flow a
+// production deployment would use on a dataset too large for RAM, and
+// the results are exactly equal to the in-memory path.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
+	"os"
+	"path/filepath"
 
 	"geosocial"
 )
@@ -16,41 +20,56 @@ import (
 func main() {
 	log.SetFlags(0)
 
+	// 1. Generate a small study and save it as a streaming binary file.
 	study, err := geosocial.GenerateStudy(geosocial.StudyConfig{Scale: 0.15, Seed: 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := study.Validate()
+	dir, err := os.MkdirTemp("", "detector-example")
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Println("burstiness detector: flag checkins whose nearest same-user")
-	fmt.Println("checkin lies within the gap threshold (no GPS needed)")
-	fmt.Printf("\n%-10s %-10s %-8s %-6s\n", "gap", "precision", "recall", "F1")
-	for _, gap := range []time.Duration{
-		30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute,
-		10 * time.Minute, 30 * time.Minute,
-	} {
-		sc := res.BurstDetector(gap)
-		fmt.Printf("%-10v %-10.3f %-8.3f %-6.3f\n", gap, sc.Precision(), sc.Recall(), sc.F1())
+	defer os.RemoveAll(dir)
+	dataset := filepath.Join(dir, "primary.bin.gz")
+	if err := study.Primary.SaveFile(dataset); err != nil {
+		log.Fatal(err)
 	}
 
-	// The §7 "machine learning techniques" suggestion, implemented: a
-	// logistic-regression detector over trace-local features, evaluated
-	// with user-grouped cross-validation.
-	if sc, err := res.TrainDetector(5); err == nil {
-		fmt.Printf("\nlearned detector (5-fold CV): precision %.3f recall %.3f F1 %.3f\n",
-			sc.Precision(), sc.Recall(), sc.F1())
+	// 2. Validate the file with an outcome sink: per-user outcomes are
+	// distilled into the log and discarded — memory stays bounded no
+	// matter how large the dataset grows.
+	outcomes := filepath.Join(dir, "primary.gso")
+	res, err := geosocial.ValidateFileOpts(dataset, geosocial.StreamOptions{OutcomeLog: outcomes})
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("validated %d users: %v\n", res.Users, res.Partition)
+	fmt.Printf("outcome log: %s\n\n", outcomes)
 
-	// The paper's alternative — filtering whole users — and its cost.
-	ft := res.FilterTradeoff()
-	fmt.Println("\nuser-level filtering (§5.3): removing the worst offenders")
+	// 3. Train and evaluate the §7 learned detector from the log: the
+	// stored feature vectors are bit-identical to what live extraction
+	// produces, so this is the same detector the in-memory path trains.
+	det, err := geosocial.AnalyzeOutcomes(outcomes, geosocial.AnalysisDetector)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := det.Detector
+	fmt.Printf("learned detector (%d-fold CV over %d checkins):\n", d.Folds, d.Examples)
+	fmt.Printf("  precision %.3f recall %.3f F1 %.3f accuracy %.3f\n", d.Precision, d.Recall, d.F1, d.Accuracy)
+	fmt.Printf("burstiness baseline (gap %.0fs): precision %.3f recall %.3f F1 %.3f\n\n",
+		d.Burst.GapSeconds, d.Burst.Precision, d.Burst.Recall, d.Burst.F1)
+
+	// 4. The paper's alternative — filtering whole users — and its cost,
+	// from the same log.
+	tr, err := geosocial.AnalyzeOutcomes(outcomes, geosocial.AnalysisTradeoff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("user-level filtering (§5.3): removing the worst offenders")
 	fmt.Printf("%-22s %-15s %s\n", "extraneous removed", "users dropped", "honest lost")
-	for _, target := range []float64{0.5, 0.8, 0.95} {
-		dropped, lost := ft.HonestLossAt(target)
-		fmt.Printf("%-22s %-15d %.0f%%\n", fmt.Sprintf(">= %.0f%%", 100*target), dropped, 100*lost)
+	for _, tg := range tr.Tradeoff.Targets {
+		fmt.Printf("%-22s %-15d %.0f%%\n",
+			fmt.Sprintf(">= %.0f%%", 100*tg.TargetExtraneous), tg.UsersDropped, 100*tg.HonestLost)
 	}
 	fmt.Println("\npaper: removing the users behind 80% of extraneous checkins")
 	fmt.Println("would also discard 53% of honest checkins — per-user filtering")

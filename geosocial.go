@@ -38,6 +38,7 @@ import (
 	"geosocial/internal/eval"
 	"geosocial/internal/levy"
 	"geosocial/internal/manet"
+	"geosocial/internal/outcome"
 	"geosocial/internal/par"
 	"geosocial/internal/poi"
 	recoverpkg "geosocial/internal/recover"
@@ -118,6 +119,15 @@ type StreamOptions struct {
 	// GOMAXPROCS, 1 the serial path; results are identical for any
 	// value).
 	Workers int
+	// OutcomeLog, when non-empty, is a path the validation writes a
+	// GSO1 columnar outcome log to (gzip when it ends in ".gz"): one
+	// compact record per user carrying everything the §5–§7 analyses
+	// need, consumable by AnalyzeOutcomes and cmd/geoanalyze without
+	// per-user outcomes in memory. The log is published atomically on
+	// success and holds records in canonical user-ID order, so its
+	// bytes are identical for any worker count and any shard split of
+	// the same dataset.
+	OutcomeLog string
 }
 
 // StreamResult is the bounded-memory analogue of ValidationResult: the
@@ -288,11 +298,20 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 	for i := range stats {
 		stats[i].Path = labels[i]
 	}
+	var logw *outcome.Writer
+	if opts.OutcomeLog != "" {
+		var err error
+		if logw, err = outcome.Create(opts.OutcomeLog, name); err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		defer logw.Discard() // no-op once Close has published the log
+	}
 	var truth core.TruthAccum
 	seen := make(map[int]int, 256) // user ID -> source index
 	type outcomeCls struct {
 		out core.UserOutcome
 		cls *classify.Classification
+		rec *outcome.Record // outcome-log record, nil unless logging
 	}
 	next := make([]func() (trace.Frame, error), len(srcs))
 	for s := range srcs {
@@ -312,7 +331,16 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 			if err != nil {
 				return outcomeCls{}, fmt.Errorf("classify: user %d: %w", o.User.ID, err)
 			}
-			return outcomeCls{out: o, cls: cl}, nil
+			oc := outcomeCls{out: o, cls: cl}
+			if logw != nil {
+				// Record distillation (feature extraction, Levy sampling)
+				// is CPU work, so it runs here on the pool; only the spool
+				// write happens on the collecting goroutine.
+				if oc.rec, err = outcome.NewRecord(o, cl); err != nil {
+					return outcomeCls{}, err
+				}
+			}
+			return oc, nil
 		},
 		func(shard, _ int, oc outcomeCls) error {
 			id := oc.out.User.ID
@@ -326,10 +354,18 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 				res.Taxonomy[k.String()]++
 			}
 			truth.Add(oc.out)
+			if logw != nil {
+				return logw.Write(oc.rec)
+			}
 			return nil
 		})
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	if logw != nil {
+		if err := logw.Close(); err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
 	}
 	res.Shards = stats
 	for _, st := range stats {

@@ -7,6 +7,7 @@ import (
 
 	"geosocial/internal/core"
 	"geosocial/internal/stats"
+	"geosocial/internal/trace"
 )
 
 // FeatureCorrelations is the Table 2 matrix: for each checkin kind, the
@@ -25,37 +26,54 @@ func FeatureNames() []string {
 	return []string{"#Friends", "#Badges", "#Mayors", "#Checkins/Day"}
 }
 
-// CorrelateFeatures computes Table 2 over the matched and classified
-// users. Users with no checkins are skipped (their ratios are undefined).
-func CorrelateFeatures(outs []core.UserOutcome, cls []*Classification) (*FeatureCorrelations, error) {
-	if len(outs) != len(cls) {
-		return nil, fmt.Errorf("classify: outcome/classification length mismatch %d != %d", len(outs), len(cls))
+// corrKinds are the Table 2 rows in presentation order.
+var corrKinds = []Kind{Superfluous, Remote, Driveby, Honest}
+
+// CorrAccum incrementally builds the Table 2 correlation inputs from a
+// stream of per-user (profile, kind-count) summaries: Add each user as
+// it arrives, then Correlations. It is the streaming core of
+// CorrelateFeatures — both the in-memory and the outcome-log-backed
+// paths feed it, in the same user order, so their matrices are exactly
+// equal. State is four floats plus four ratios per user with checkins
+// (Pearson needs the full sample, but never the traces behind it).
+type CorrAccum struct {
+	friends, badges, mayors, ckpd []float64
+	ratios                        map[Kind][]float64
+}
+
+// Add accumulates one user. Users with no checkins are skipped (their
+// ratios are undefined), exactly as CorrelateFeatures skips them.
+func (a *CorrAccum) Add(p trace.Profile, counts KindCounts) {
+	total := counts.Total()
+	if total == 0 {
+		return
 	}
-	var friends, badges, mayors, ckpd []float64
-	ratios := make(map[Kind][]float64)
-	kinds := []Kind{Superfluous, Remote, Driveby, Honest}
-	for i, o := range outs {
-		if len(o.User.Checkins) == 0 {
-			continue
-		}
-		p := o.User.Profile
-		friends = append(friends, float64(p.Friends))
-		badges = append(badges, float64(p.Badges))
-		mayors = append(mayors, float64(p.Mayors))
-		ckpd = append(ckpd, p.CheckinsPerDay)
-		for _, k := range kinds {
-			ratios[k] = append(ratios[k], cls[i].Ratio(k))
-		}
+	if a.ratios == nil {
+		a.ratios = make(map[Kind][]float64)
 	}
-	if len(friends) < 3 {
-		return nil, fmt.Errorf("classify: too few users with checkins (%d)", len(friends))
+	a.friends = append(a.friends, float64(p.Friends))
+	a.badges = append(a.badges, float64(p.Badges))
+	a.mayors = append(a.mayors, float64(p.Mayors))
+	a.ckpd = append(a.ckpd, p.CheckinsPerDay)
+	for _, k := range corrKinds {
+		a.ratios[k] = append(a.ratios[k], float64(counts[k])/float64(total))
 	}
-	fc := &FeatureCorrelations{Rows: make(map[Kind][4]float64), Users: len(friends)}
-	features := [][]float64{friends, badges, mayors, ckpd}
-	for _, k := range kinds {
+}
+
+// Users returns the number of users accumulated so far.
+func (a *CorrAccum) Users() int { return len(a.friends) }
+
+// Correlations finalizes the Table 2 matrix over the accumulated users.
+func (a *CorrAccum) Correlations() (*FeatureCorrelations, error) {
+	if len(a.friends) < 3 {
+		return nil, fmt.Errorf("classify: too few users with checkins (%d)", len(a.friends))
+	}
+	fc := &FeatureCorrelations{Rows: make(map[Kind][4]float64), Users: len(a.friends)}
+	features := [][]float64{a.friends, a.badges, a.mayors, a.ckpd}
+	for _, k := range corrKinds {
 		var row [4]float64
 		for fi, feat := range features {
-			r, err := stats.Pearson(ratios[k], feat)
+			r, err := stats.Pearson(a.ratios[k], feat)
 			if err != nil {
 				return nil, fmt.Errorf("classify: correlate %v vs feature %d: %w", k, fi, err)
 			}
@@ -64,6 +82,19 @@ func CorrelateFeatures(outs []core.UserOutcome, cls []*Classification) (*Feature
 		fc.Rows[k] = row
 	}
 	return fc, nil
+}
+
+// CorrelateFeatures computes Table 2 over the matched and classified
+// users. Users with no checkins are skipped (their ratios are undefined).
+func CorrelateFeatures(outs []core.UserOutcome, cls []*Classification) (*FeatureCorrelations, error) {
+	if len(outs) != len(cls) {
+		return nil, fmt.Errorf("classify: outcome/classification length mismatch %d != %d", len(outs), len(cls))
+	}
+	var a CorrAccum
+	for i, o := range outs {
+		a.Add(o.User.Profile, cls[i].Counts())
+	}
+	return a.Correlations()
 }
 
 // PerUserRatios returns, for each user with checkins, the fraction of her
@@ -84,24 +115,39 @@ func PerUserRatios(cls []*Classification, k Kind) []float64 {
 	return out
 }
 
+// AppendInterArrivals appends one user's inter-arrival gaps in minutes
+// between consecutive checkins of the given kind to dst (Figure 6).
+// times and kinds are the user's checkin timestamps and classifications,
+// index-aligned; Kind < 0 pools all checkins regardless of kind. It is
+// the per-user core of InterArrivals, shared with the outcome-log path.
+func AppendInterArrivals(dst []float64, times []int64, kinds []Kind, k Kind) []float64 {
+	var prev int64
+	have := false
+	for ci, t := range times {
+		if k >= 0 && kinds[ci] != k {
+			continue
+		}
+		if have {
+			dst = append(dst, float64(t-prev)/60)
+		}
+		prev = t
+		have = true
+	}
+	return dst
+}
+
 // InterArrivals returns the inter-arrival gaps in minutes between
 // consecutive checkins of the given kind within each user (Figure 6).
 // Kind < 0 pools all checkins regardless of kind.
 func InterArrivals(outs []core.UserOutcome, cls []*Classification, k Kind) []float64 {
 	var gaps []float64
+	times := make([]int64, 0, 64)
 	for i, o := range outs {
-		var prev int64
-		have := false
-		for ci, c := range o.User.Checkins {
-			if k >= 0 && cls[i].Kinds[ci] != k {
-				continue
-			}
-			if have {
-				gaps = append(gaps, float64(c.T-prev)/60)
-			}
-			prev = c.T
-			have = true
+		times = times[:0]
+		for _, c := range o.User.Checkins {
+			times = append(times, c.T)
 		}
+		gaps = AppendInterArrivals(gaps, times, cls[i].Kinds, k)
 	}
 	return gaps
 }
@@ -119,35 +165,62 @@ type FilterTradeoff struct {
 	HonestLost        []float64
 }
 
-// ComputeFilterTradeoff builds the trade-off curve over all users.
-func ComputeFilterTradeoff(cls []*Classification) FilterTradeoff {
-	type userCost struct {
-		ratio          float64
-		extran, honest int
+// userCost is one user's contribution to the filtering trade-off.
+type userCost struct {
+	ratio          float64
+	extran, honest int
+}
+
+// TradeoffAccum incrementally builds the §5.3 filtering trade-off from a
+// stream of per-user kind counts: Add each user, then Tradeoff. State is
+// three numbers per user with checkins — the traces themselves are never
+// needed, which is what lets the outcome-log path share it.
+type TradeoffAccum struct {
+	ucs               []userCost
+	totalEx, totalHon int
+}
+
+// Add accumulates one user's kind counts (users with no checkins are
+// skipped, as in ComputeFilterTradeoff).
+func (a *TradeoffAccum) Add(counts KindCounts) {
+	total := counts.Total()
+	if total == 0 {
+		return
 	}
-	var ucs []userCost
-	totalEx, totalHon := 0, 0
-	for _, c := range cls {
-		if len(c.Kinds) == 0 {
-			continue
-		}
-		ex := len(c.Kinds) - c.Count(Honest)
-		hon := c.Count(Honest)
-		ucs = append(ucs, userCost{c.ExtraneousRatio(), ex, hon})
-		totalEx += ex
-		totalHon += hon
-	}
-	sort.Slice(ucs, func(i, j int) bool { return ucs[i].ratio > ucs[j].ratio })
+	hon := counts[Honest]
+	ex := total - hon
+	// The sort key must be computed exactly as Classification.
+	// ExtraneousRatio computes it (1 - honest ratio), so the two paths
+	// order ties identically.
+	ratio := 1 - float64(hon)/float64(total)
+	a.ucs = append(a.ucs, userCost{ratio, ex, hon})
+	a.totalEx += ex
+	a.totalHon += hon
+}
+
+// Tradeoff finalizes the curve: sort users by extraneous ratio (worst
+// first) and accumulate the removal/loss fractions.
+func (a *TradeoffAccum) Tradeoff() FilterTradeoff {
+	sort.Slice(a.ucs, func(i, j int) bool { return a.ucs[i].ratio > a.ucs[j].ratio })
 	var out FilterTradeoff
 	cumEx, cumHon := 0, 0
-	for i, uc := range ucs {
+	for i, uc := range a.ucs {
 		cumEx += uc.extran
 		cumHon += uc.honest
 		out.UsersDropped = append(out.UsersDropped, i+1)
-		out.ExtraneousRemoved = append(out.ExtraneousRemoved, frac(cumEx, totalEx))
-		out.HonestLost = append(out.HonestLost, frac(cumHon, totalHon))
+		out.ExtraneousRemoved = append(out.ExtraneousRemoved, frac(cumEx, a.totalEx))
+		out.HonestLost = append(out.HonestLost, frac(cumHon, a.totalHon))
 	}
 	return out
+}
+
+// ComputeFilterTradeoff builds the trade-off curve over all users.
+func ComputeFilterTradeoff(cls []*Classification) FilterTradeoff {
+	var a TradeoffAccum
+	for _, c := range cls {
+		a.Add(c.Counts())
+	}
+	return a.Tradeoff()
 }
 
 // HonestLossAt returns the honest-checkin loss incurred at the smallest
@@ -217,6 +290,27 @@ func (s DetectorScore) F1() float64 {
 	return 2 * p * r / (p + r)
 }
 
+// ScoreUser accumulates one user's burst-detector confusion counts into
+// sc, given the user's checkin timestamps and classifications
+// (extraneous = positive class). It is the per-user core of
+// EvaluateBurstDetector, shared with the outcome-log path.
+func (d BurstDetector) ScoreUser(sc *DetectorScore, times []int64, kinds []Kind) {
+	flags := d.Flags(times)
+	for j, flagged := range flags {
+		extraneous := kinds[j] != Honest
+		switch {
+		case flagged && extraneous:
+			sc.TP++
+		case flagged && !extraneous:
+			sc.FP++
+		case !flagged && extraneous:
+			sc.FN++
+		default:
+			sc.TN++
+		}
+	}
+}
+
 // EvaluateBurstDetector scores the detector against the classification
 // (extraneous = positive class) over all users.
 func EvaluateBurstDetector(outs []core.UserOutcome, cls []*Classification, d BurstDetector) DetectorScore {
@@ -226,20 +320,7 @@ func EvaluateBurstDetector(outs []core.UserOutcome, cls []*Classification, d Bur
 		for j, c := range o.User.Checkins {
 			ts[j] = c.T
 		}
-		flags := d.Flags(ts)
-		for j, flagged := range flags {
-			extraneous := cls[i].Kinds[j] != Honest
-			switch {
-			case flagged && extraneous:
-				sc.TP++
-			case flagged && !extraneous:
-				sc.FP++
-			case !flagged && extraneous:
-				sc.FN++
-			default:
-				sc.TN++
-			}
-		}
+		d.ScoreUser(&sc, ts, cls[i].Kinds)
 	}
 	return sc
 }

@@ -123,6 +123,36 @@ func (c *Classification) Ratio(k Kind) float64 {
 	return float64(c.Count(k)) / float64(len(c.Kinds))
 }
 
+// KindCounts is a per-kind checkin histogram for one user — the compact
+// user-level summary the streaming analysis accumulators (CorrAccum,
+// TradeoffAccum) consume, and what the outcome log reconstructs without
+// the traces.
+type KindCounts [NumKinds]int
+
+// Total returns the number of checkins across all kinds.
+func (kc KindCounts) Total() int {
+	n := 0
+	for _, v := range kc {
+		n += v
+	}
+	return n
+}
+
+// CountsOf builds a KindCounts from a raw kind sequence. Kinds outside
+// the valid range are ignored (decoders reject them before this point).
+func CountsOf(kinds []Kind) KindCounts {
+	var kc KindCounts
+	for _, k := range kinds {
+		if k >= 0 && int(k) < NumKinds {
+			kc[k]++
+		}
+	}
+	return kc
+}
+
+// Counts returns the per-kind histogram of this classification.
+func (c *Classification) Counts() KindCounts { return CountsOf(c.Kinds) }
+
 // ExtraneousRatio returns the fraction of checkins that are not honest.
 func (c *Classification) ExtraneousRatio() float64 {
 	if len(c.Kinds) == 0 {

@@ -261,24 +261,31 @@ type TruthAccum struct {
 // Add accumulates one user's labeled checkins.
 func (a *TruthAccum) Add(o UserOutcome) {
 	for ci, c := range o.User.Checkins {
-		if c.Truth == trace.LabelNone {
-			continue
-		}
-		a.labeled++
-		isMatched := o.Match.IsHonest(ci)
-		wantHonest := c.Truth == trace.LabelHonest
-		if isMatched == wantHonest {
-			a.agree++
-		}
-		if isMatched {
-			a.matchedTotal++
-			if wantHonest {
-				a.matchedHonest++
-			}
-		}
+		a.AddLabel(c.Truth, o.Match.IsHonest(ci))
+	}
+}
+
+// AddLabel accumulates one checkin given its ground-truth label and
+// whether the matcher marked it honest. LabelNone is a no-op. It is the
+// per-checkin core of Add, shared with the outcome-log path (which
+// stores labels and match verdicts but not the traces behind them).
+func (a *TruthAccum) AddLabel(l trace.Label, isMatched bool) {
+	if l == trace.LabelNone {
+		return
+	}
+	a.labeled++
+	wantHonest := l == trace.LabelHonest
+	if isMatched == wantHonest {
+		a.agree++
+	}
+	if isMatched {
+		a.matchedTotal++
 		if wantHonest {
-			a.honestTotal++
+			a.matchedHonest++
 		}
+	}
+	if wantHonest {
+		a.honestTotal++
 	}
 }
 

@@ -23,7 +23,13 @@ type Models struct {
 // model from the full checkin trace; the checkin models borrow the GPS
 // pause distribution.
 func FitModels(outs []core.UserOutcome) (*Models, error) {
-	var gpsSm, honestSm, allSm levy.Sample
+	gpsSm, honestSm, allSm := modelSamples(outs)
+	return FitModelsFromSamples(gpsSm, honestSm, allSm)
+}
+
+// modelSamples builds the three §6.1 fitting samples from per-user
+// outcomes, merging users in slice order.
+func modelSamples(outs []core.UserOutcome) (gpsSm, honestSm, allSm levy.Sample) {
 	for _, o := range outs {
 		gpsSm = levy.Merge(gpsSm, levy.SampleFromVisits(o.Visits))
 		matched := make(map[int]bool, len(o.Match.Matches))
@@ -34,6 +40,15 @@ func FitModels(outs []core.UserOutcome) (*Models, error) {
 			func(i int) bool { return matched[i] }))
 		allSm = levy.Merge(allSm, levy.SampleFromCheckins(o.User.Checkins, nil))
 	}
+	return gpsSm, honestSm, allSm
+}
+
+// FitModelsFromSamples is FitModels over pre-built samples — the entry
+// point for callers that assemble the per-user flight and pause samples
+// themselves, such as the outcome-log analysis path, which stores
+// exactly these samples per user. Fitting a sample assembled in the
+// same user order as FitModels yields exactly the same models.
+func FitModelsFromSamples(gpsSm, honestSm, allSm levy.Sample) (*Models, error) {
 	opt := levy.DefaultFitOptions()
 	gps, err := levy.Fit("gps", gpsSm, opt)
 	if err != nil {
@@ -54,30 +69,23 @@ func FitModels(outs []core.UserOutcome) (*Models, error) {
 	}, nil
 }
 
-// flightStats collects the raw flight samples per model for plotting.
-func flightSamples(outs []core.UserOutcome) (gps, honest, all []levy.Flight) {
-	for _, o := range outs {
-		gps = append(gps, levy.SampleFromVisits(o.Visits).Flights...)
-		matched := make(map[int]bool, len(o.Match.Matches))
-		for _, m := range o.Match.Matches {
-			matched[m.CheckinIdx] = true
-		}
-		honest = append(honest, levy.SampleFromCheckins(o.User.Checkins,
-			func(i int) bool { return matched[i] }).Flights...)
-		all = append(all, levy.SampleFromCheckins(o.User.Checkins, nil).Flights...)
-	}
-	return gps, honest, all
-}
-
 // Fig7 regenerates Figure 7: the mobility-model fitting plots — (a)
 // movement distance PDF with Pareto fits, (b) movement time vs distance
 // with power-law fits, (c) pause time PDF with its fit.
 func Fig7(ctx *Context) (*Report, error) {
-	models, err := FitModels(ctx.PrimaryOuts)
+	gpsSm, honestSm, allSm := modelSamples(ctx.PrimaryOuts)
+	return Fig7FromSamples(gpsSm, honestSm, allSm)
+}
+
+// Fig7FromSamples is Fig7 over pre-built fitting samples (see
+// FitModelsFromSamples); the outcome-log path regenerates the figure
+// without per-user outcomes in memory.
+func Fig7FromSamples(gpsSm, honestSm, allSm levy.Sample) (*Report, error) {
+	models, err := FitModelsFromSamples(gpsSm, honestSm, allSm)
 	if err != nil {
 		return nil, err
 	}
-	gpsFl, honestFl, allFl := flightSamples(ctx.PrimaryOuts)
+	gpsFl, honestFl, allFl := gpsSm.Flights, honestSm.Flights, allSm.Flights
 
 	r := &Report{ID: "fig7", Title: "Levy-walk model fitting on honest-checkin, all-checkin and GPS traces"}
 
@@ -135,10 +143,7 @@ func Fig7(ctx *Context) (*Report, error) {
 	// (c) Pause time PDF (GPS only) with fit, 10–1000 minutes.
 	xc := stats.LogSpace(6, 1000, 20)
 	figC := Figure{Title: "Figure 7(c): pause time PDF (GPS)", XLabel: "minutes", YLabel: "PDF", X: xc}
-	var pauses []float64
-	for _, o := range ctx.PrimaryOuts {
-		pauses = append(pauses, levy.SampleFromVisits(o.Visits).Pauses...)
-	}
+	pauses := gpsSm.Pauses
 	histC := stats.NewLogHistogram(6, 1000, 19)
 	histC.AddAll(pauses)
 	pdfC := histC.PDF()

@@ -1,0 +1,316 @@
+package outcome
+
+// GSO1 wire encoding: the varint/float primitives plus the record and
+// header codecs. See the package comment for the byte-level layout.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"geosocial/internal/classify"
+	"geosocial/internal/detect"
+	"geosocial/internal/levy"
+	"geosocial/internal/trace"
+)
+
+// logMagic identifies the outcome-log format ("GeoSocial Outcomes").
+var logMagic = [4]byte{'G', 'S', 'O', '1'}
+
+// logVersion is the current header version.
+const logVersion = 1
+
+const (
+	// maxRecordBytes caps a single record so a corrupt length prefix
+	// cannot trigger a multi-gigabyte allocation.
+	maxRecordBytes = 1 << 28
+	// maxStringBytes caps an encoded string for the same reason.
+	maxStringBytes = 1 << 20
+	// maxKindCount bounds the header kind count: kinds are stored as
+	// single bytes, so anything larger is structurally impossible.
+	maxKindCount = 256
+	// allocHint caps speculative slice preallocation from untrusted
+	// counts; slices grow past it by appending.
+	allocHint = 1 << 16
+)
+
+// labelTable enumerates the known ground-truth labels; the index is the
+// wire encoding. Unknown labels are written as len(labelTable) + string.
+var labelTable = [...]trace.Label{
+	trace.LabelNone, trace.LabelHonest, trace.LabelSuperfluous,
+	trace.LabelRemote, trace.LabelDriveby, trace.LabelOther,
+}
+
+// --- encoding helpers ---
+
+// recEnc accumulates one record's payload in memory (records are
+// length-prefixed, so the size must be known before the first byte
+// reaches the stream).
+type recEnc struct{ buf []byte }
+
+func (e *recEnc) reset()           { e.buf = e.buf[:0] }
+func (e *recEnc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *recEnc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *recEnc) f64(v float64)    { e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+func (e *recEnc) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *recEnc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *recEnc) label(l trace.Label) {
+	for i, known := range labelTable {
+		if l == known {
+			e.uvarint(uint64(i))
+			return
+		}
+	}
+	e.uvarint(uint64(len(labelTable)))
+	e.str(string(l))
+}
+
+// flights writes one Levy flight block as two float64 columns.
+func (e *recEnc) flights(fl []levy.Flight) {
+	e.uvarint(uint64(len(fl)))
+	for _, f := range fl {
+		e.f64(f.Dist)
+	}
+	for _, f := range fl {
+		e.f64(f.Time)
+	}
+}
+
+// encodeRecord appends the record's payload to e. The record must have
+// passed validate.
+func encodeRecord(e *recEnc, r *Record) error {
+	e.varint(int64(r.UserID))
+	e.varint(int64(r.Profile.Friends))
+	e.varint(int64(r.Profile.Badges))
+	e.varint(int64(r.Profile.Mayors))
+	e.f64(r.Profile.CheckinsPerDay)
+	e.uvarint(uint64(r.Visits))
+	e.uvarint(uint64(r.Missing))
+
+	e.uvarint(uint64(len(r.Times)))
+	var prev int64
+	for i, t := range r.Times {
+		if i == 0 {
+			e.varint(t)
+		} else {
+			if t < prev {
+				return fmt.Errorf("outcome: user %d: checkin %d out of order", r.UserID, i)
+			}
+			e.uvarint(uint64(t - prev))
+		}
+		prev = t
+	}
+	for _, k := range r.Kinds {
+		e.byte(byte(k))
+	}
+	for _, l := range r.Truth {
+		e.label(l)
+	}
+	for j := 0; j < detect.FeatureDim; j++ {
+		for i := range r.Features {
+			e.f64(r.Features[i][j])
+		}
+	}
+	e.flights(r.GPSFlights)
+	e.flights(r.HonestFlights)
+	e.flights(r.AllFlights)
+	e.uvarint(uint64(len(r.Pauses)))
+	for _, p := range r.Pauses {
+		e.f64(p)
+	}
+	return nil
+}
+
+// --- decoding helpers ---
+
+// recDec decodes one record payload with a sticky error, so call sites
+// stay linear and check failure once.
+type recDec struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *recDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *recDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("outcome: record: bad uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *recDec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("outcome: record: bad varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *recDec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.data) {
+		d.fail("outcome: record: truncated float at offset %d", d.pos)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.pos:]))
+	d.pos += 8
+	return v
+}
+
+func (d *recDec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.data) {
+		d.fail("outcome: record: truncated byte at offset %d", d.pos)
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *recDec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringBytes {
+		d.fail("outcome: record: string length %d exceeds limit", n)
+		return ""
+	}
+	if d.pos+int(n) > len(d.data) {
+		d.fail("outcome: record: truncated string at offset %d", d.pos)
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s
+}
+
+func (d *recDec) label() trace.Label {
+	idx := d.uvarint()
+	if d.err != nil {
+		return trace.LabelNone
+	}
+	if idx < uint64(len(labelTable)) {
+		return labelTable[idx]
+	}
+	if idx == uint64(len(labelTable)) {
+		return trace.Label(d.str())
+	}
+	d.fail("outcome: record: bad label code %d", idx)
+	return trace.LabelNone
+}
+
+// flights reads one Levy flight block (nil when empty — decoded
+// records are in canonical form, see canon).
+func (d *recDec) flights() []levy.Flight {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]levy.Flight, 0, min(n, allocHint))
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, levy.Flight{Dist: d.f64()})
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out[i].Time = d.f64()
+	}
+	return out
+}
+
+// decodeRecord decodes and validates one record payload against the
+// header's kind count. The feature dimension is fixed at
+// detect.FeatureDim (the reader rejects headers with any other value).
+func decodeRecord(data []byte, kindCount int) (*Record, error) {
+	d := recDec{data: data}
+	r := &Record{}
+	r.UserID = int(d.varint())
+	r.Profile.Friends = int(d.varint())
+	r.Profile.Badges = int(d.varint())
+	r.Profile.Mayors = int(d.varint())
+	r.Profile.CheckinsPerDay = d.f64()
+	r.Visits = int(d.uvarint())
+	r.Missing = int(d.uvarint())
+
+	nCk := d.uvarint()
+	if d.err == nil && nCk > 0 {
+		r.Times = make([]int64, 0, min(nCk, allocHint))
+		var t int64
+		for i := uint64(0); i < nCk && d.err == nil; i++ {
+			if i == 0 {
+				t = d.varint()
+			} else {
+				t += int64(d.uvarint())
+			}
+			r.Times = append(r.Times, t)
+		}
+		r.Kinds = make([]classify.Kind, 0, min(nCk, allocHint))
+		for i := uint64(0); i < nCk && d.err == nil; i++ {
+			r.Kinds = append(r.Kinds, classify.Kind(d.byte()))
+		}
+		r.Truth = make([]trace.Label, 0, min(nCk, allocHint))
+		for i := uint64(0); i < nCk && d.err == nil; i++ {
+			r.Truth = append(r.Truth, d.label())
+		}
+		if d.err == nil {
+			// The columns are fixed-width, so bound the allocation by the
+			// bytes actually present before trusting the untrusted count.
+			if need := nCk * detect.FeatureDim * 8; uint64(len(d.data)-d.pos) < need {
+				d.fail("outcome: record: %d checkins claim %d feature bytes, %d remain",
+					nCk, need, len(d.data)-d.pos)
+			} else {
+				r.Features = make([][detect.FeatureDim]float64, nCk)
+				for j := 0; j < detect.FeatureDim && d.err == nil; j++ {
+					for i := uint64(0); i < nCk && d.err == nil; i++ {
+						r.Features[i][j] = d.f64()
+					}
+				}
+			}
+		}
+	}
+	r.GPSFlights = d.flights()
+	r.HonestFlights = d.flights()
+	r.AllFlights = d.flights()
+	nP := d.uvarint()
+	if d.err == nil && nP > 0 {
+		r.Pauses = make([]float64, 0, min(nP, allocHint))
+		for i := uint64(0); i < nP && d.err == nil; i++ {
+			r.Pauses = append(r.Pauses, d.f64())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("outcome: record for user %d has %d trailing bytes", r.UserID, len(d.data)-d.pos)
+	}
+	if err := r.validate(kindCount); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,201 @@
+package outcome
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"geosocial/internal/detect"
+)
+
+// Reader decodes an outcome log one record at a time, holding only the
+// current record in memory. The header is decoded and validated by
+// NewReader; Next yields validated records in strictly increasing
+// user-ID order (the canonical form every Writer produces — anything
+// else is a corrupt or hand-mangled log) and io.EOF after the trailer
+// has been verified. A truncated stream yields a non-EOF error, never a
+// silently short analysis.
+type Reader struct {
+	r         *bufio.Reader
+	name      string
+	kindCount int
+	buf       []byte
+	users     uint64
+	prevID    int
+	done      bool
+}
+
+// NewReader decodes and validates the log header. The reader expects
+// uncompressed bytes; Open handles files and gzip.
+func NewReader(r io.Reader) (*Reader, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("outcome: read header: %w", noEOF(err))
+	}
+	if magic != logMagic {
+		return nil, fmt.Errorf("outcome: not an outcome log (magic %q)", magic[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("outcome: read header: %w", noEOF(err))
+	}
+	if version != logVersion {
+		return nil, fmt.Errorf("outcome: unsupported log version %d (have %d)", version, logVersion)
+	}
+	rd := &Reader{r: br}
+	if rd.name, err = readString(br); err != nil {
+		return nil, fmt.Errorf("outcome: read header: %w", err)
+	}
+	dim, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("outcome: read header: %w", noEOF(err))
+	}
+	if dim != detect.FeatureDim {
+		return nil, fmt.Errorf("outcome: log carries %d-dimensional features (have %d)", dim, detect.FeatureDim)
+	}
+	kinds, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("outcome: read header: %w", noEOF(err))
+	}
+	if kinds == 0 || kinds > maxKindCount {
+		return nil, fmt.Errorf("outcome: invalid kind count %d", kinds)
+	}
+	rd.kindCount = int(kinds)
+	return rd, nil
+}
+
+// Name returns the dataset name from the header.
+func (rd *Reader) Name() string { return rd.name }
+
+// Users returns the number of records decoded so far.
+func (rd *Reader) Users() int { return int(rd.users) }
+
+// Next decodes, validates and returns the next record, or io.EOF once
+// the trailer has been read and verified. The record is freshly
+// allocated and owned by the caller.
+func (rd *Reader) Next() (*Record, error) {
+	if rd.done {
+		return nil, io.EOF
+	}
+	recLen, err := binary.ReadUvarint(rd.r)
+	if err != nil {
+		return nil, fmt.Errorf("outcome: read record: %w", noEOF(err))
+	}
+	if recLen == 0 {
+		// Sentinel: verify the trailer then report a clean end.
+		count, err := binary.ReadUvarint(rd.r)
+		if err != nil {
+			return nil, fmt.Errorf("outcome: read trailer: %w", noEOF(err))
+		}
+		if count != rd.users {
+			return nil, fmt.Errorf("outcome: trailer record count %d, decoded %d", count, rd.users)
+		}
+		rd.done = true
+		return nil, io.EOF
+	}
+	if recLen > maxRecordBytes {
+		return nil, fmt.Errorf("outcome: record length %d exceeds limit", recLen)
+	}
+	if uint64(cap(rd.buf)) < recLen {
+		rd.buf = make([]byte, recLen)
+	}
+	buf := rd.buf[:recLen]
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		return nil, fmt.Errorf("outcome: read record: %w", noEOF(err))
+	}
+	rec, err := decodeRecord(buf, rd.kindCount)
+	if err != nil {
+		return nil, err
+	}
+	if rd.users > 0 && rec.UserID <= rd.prevID {
+		return nil, fmt.Errorf("outcome: user %d out of canonical order (after %d)", rec.UserID, rd.prevID)
+	}
+	rd.prevID = rec.UserID
+	rd.users++
+	return rec, nil
+}
+
+// LogFile is a Reader bound to an opened log file.
+type LogFile struct {
+	*Reader
+	f  *os.File
+	gz *gzip.Reader
+}
+
+// Open opens an outcome log file, transparently unwrapping gzip
+// (detected from magic bytes, never the file name).
+func Open(path string) (*LogFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("outcome: open log: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	lf := &LogFile{f: f}
+	src := io.Reader(br)
+	if head, perr := br.Peek(2); perr == nil && head[0] == 0x1f && head[1] == 0x8b {
+		if lf.gz, err = gzip.NewReader(br); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("outcome: open log: %w", err)
+		}
+		src = lf.gz
+	}
+	if lf.Reader, err = NewReader(src); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return lf, nil
+}
+
+// Close releases the underlying file.
+func (lf *LogFile) Close() error {
+	if lf.gz != nil {
+		lf.gz.Close()
+	}
+	return lf.f.Close()
+}
+
+// Scan streams every record of a log file through fn, in canonical
+// user-ID order, holding one record in memory at a time. fn errors
+// abort the scan.
+func Scan(path string, fn func(*Record) error) error {
+	lf, err := Open(path)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	return each(lf, fn)
+}
+
+// readString reads a uvarint-prefixed string from a header stream.
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", noEOF(err)
+	}
+	if n > maxStringBytes {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", noEOF(err)
+	}
+	return string(buf), nil
+}
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a
+// header or record, running out of bytes is truncation, not a clean
+// end, and must never be mistaken for the iterator's end-of-stream
+// signal.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -6,8 +6,19 @@ import (
 	"testing"
 )
 
+// mustCache builds a memory-only cache (the disk tier has its own
+// tests).
+func mustCache(t *testing.T, capacity int) *resultCache {
+	t.Helper()
+	c, err := newResultCache(capacity, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestResultCacheEvictsLRU(t *testing.T) {
-	c := newResultCache(2)
+	c := mustCache(t, 2)
 	c.Put("a", []byte("A"))
 	c.Put("b", []byte("B"))
 	if _, ok := c.Get("a"); !ok { // refresh a: b is now oldest
@@ -25,7 +36,7 @@ func TestResultCacheEvictsLRU(t *testing.T) {
 }
 
 func TestResultCachePutRefreshes(t *testing.T) {
-	c := newResultCache(2)
+	c := mustCache(t, 2)
 	c.Put("a", []byte("A1"))
 	c.Put("b", []byte("B"))
 	c.Put("a", []byte("A2")) // refresh value and recency
@@ -39,7 +50,7 @@ func TestResultCachePutRefreshes(t *testing.T) {
 }
 
 func TestResultCacheStats(t *testing.T) {
-	c := newResultCache(0) // normalized to 1
+	c := mustCache(t, 0) // normalized to 1
 	c.Put("a", []byte("A"))
 	c.Get("a")
 	c.Get("nope")
@@ -50,7 +61,7 @@ func TestResultCacheStats(t *testing.T) {
 }
 
 func TestResultCacheManyKeys(t *testing.T) {
-	c := newResultCache(8)
+	c := mustCache(t, 8)
 	for i := 0; i < 100; i++ {
 		c.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
 	}

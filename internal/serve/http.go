@@ -8,6 +8,8 @@ package serve
 //	GET  /v1/datasets/{id}            job status + full StreamResult when done
 //	GET  /v1/datasets/{id}/partition  the Figure 1 partition only
 //	GET  /v1/datasets/{id}/taxonomy   the §5.1 taxonomy only
+//	GET  /v1/datasets/{id}/outcomes   the raw GSO1 outcome log bytes
+//	GET  /v1/datasets/{id}/analysis/{kind}  a §5–§7 analysis over the log
 //	GET  /healthz                     liveness probe
 //	GET  /metrics                     plain-text counters
 //
@@ -18,9 +20,13 @@ package serve
 // waiting on a validation, "miss" otherwise.
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"strings"
 
 	"geosocial/internal/core"
 )
@@ -38,6 +44,8 @@ func (s *Server) initMux() {
 	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDataset)
 	mux.HandleFunc("GET /v1/datasets/{id}/partition", s.handlePartition)
 	mux.HandleFunc("GET /v1/datasets/{id}/taxonomy", s.handleTaxonomy)
+	mux.HandleFunc("GET /v1/datasets/{id}/outcomes", s.handleOutcomes)
+	mux.HandleFunc("GET /v1/datasets/{id}/analysis/{kind}", s.handleAnalysis)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -175,8 +183,14 @@ func (s *Server) loadResult(w http.ResponseWriter, r *http.Request) (info JobInf
 		}
 		res, err := core.DecodeStreamResult(data)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "corrupt cached result: %v", err)
-			return info, nil, fromCache, false
+			// A corrupt cache entry (torn disk write) must not poison the
+			// dataset forever: drop both tiers and loop — the next pass
+			// misses the cache and revalidates from the spool, exactly as
+			// for an eviction.
+			s.logf("serve: %s: dropping corrupt cached result: %v", info.Path, err)
+			s.cache.Delete(id)
+			fromCache = false
+			continue
 		}
 		return info, res, fromCache, true
 	}
@@ -246,6 +260,170 @@ func (s *Server) handleTaxonomy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res.Taxonomy)
 }
 
+// resolveDone resolves {id} to a done job, honouring ?wait=1. ok=false
+// means the response has been written (unknown job, failed job, or a
+// job that is not done and the client would not wait).
+func (s *Server) resolveDone(w http.ResponseWriter, r *http.Request) (JobInfo, bool) {
+	id := r.PathValue("id")
+	info, exists := s.Job(id)
+	if !exists {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", id)
+		return info, false
+	}
+	if info.Status != StatusDone && info.Status != StatusFailed && wantWait(r) {
+		var finished bool
+		if info, finished = s.wait(id, r.Context().Done()); !finished {
+			if _, exists := s.Job(id); !exists {
+				writeError(w, http.StatusGone, "dataset %q was withdrawn (claimed by a shard manifest)", id)
+				return info, false
+			}
+		}
+	}
+	if info.Status != StatusDone {
+		handleNotReady(w, info)
+		return info, false
+	}
+	return info, true
+}
+
+// handleOutcomes serves a validated dataset's raw GSO1 outcome log —
+// the exact bytes geovalidate -outcomes would have written, ready for
+// a local geoanalyze run.
+func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.resolveDone(w, r)
+	if !ok {
+		return
+	}
+	logPath := s.outcomePath(info.ID)
+	if logPath == "" {
+		writeError(w, http.StatusNotFound, "outcome logging is disabled on this server")
+		return
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no outcome log retained for dataset %q", info.ID)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if st, err := f.Stat(); err == nil {
+		w.Header().Set("Content-Length", fmt.Sprint(st.Size()))
+	}
+	io.Copy(w, f) //nolint:errcheck // nothing to do about a failed write
+}
+
+// handleAnalysis serves one §5–§7 analysis over a validated dataset's
+// outcome log. Analysis documents are cached alongside partitions in
+// the result cache (and its disk tier), keyed by "<checksum>.<kind>",
+// so each (dataset, kind) pair is computed at most once per cache
+// lifetime; X-Cache reports whether this request hit that cache.
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.resolveDone(w, r)
+	if !ok {
+		return
+	}
+	// Configuration errors first: "outcome logging is disabled" is the
+	// honest answer for any kind when there are no logs to analyze
+	// (with AnalysisKinds empty, every kind would otherwise read as
+	// "unknown").
+	if s.outcomePath(info.ID) == "" {
+		writeError(w, http.StatusNotFound, "outcome logging is disabled on this server")
+		return
+	}
+	kind := r.PathValue("kind")
+	known := false
+	for _, k := range s.cfg.AnalysisKinds {
+		if k == kind {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "unknown analysis kind %q (have %s)",
+			kind, strings.Join(s.cfg.AnalysisKinds, ", "))
+		return
+	}
+	key := info.ID + "." + kind
+	fromCache := true
+	for {
+		if data, hit := s.cache.Get(key); hit {
+			if !json.Valid(data) {
+				// Torn disk write: drop the entry and recompute instead of
+				// serving garbage with a 200.
+				s.logf("serve: %s: dropping corrupt cached %s analysis", info.Path, kind)
+				s.cache.Delete(key)
+				fromCache = false
+			} else {
+				setCache(w, fromCache)
+				w.Header().Set("Content-Type", "application/json")
+				w.Write(data) //nolint:errcheck // nothing to do about a failed write
+				return
+			}
+		}
+		// Single-flight: exactly one request computes each uncached
+		// (dataset, kind); the rest wait for it and re-check the cache.
+		s.analysisMu.Lock()
+		ch, busy := s.analysisBusy[key]
+		if !busy {
+			ch = make(chan struct{})
+			s.analysisBusy[key] = ch
+			s.analysisMu.Unlock()
+			break // this request is the runner
+		}
+		s.analysisMu.Unlock()
+		fromCache = false // this request waited on a computation
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return // client gone; the runner still publishes to the cache
+		case <-s.stop:
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+	}
+	data, status, err := s.runAnalysis(info, key, kind)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck // nothing to do about a failed write
+}
+
+// runAnalysis computes one analysis as the single-flight runner,
+// publishing to the cache and always releasing waiters (who re-check
+// the cache; after a failure the next waiter becomes the runner).
+func (s *Server) runAnalysis(info JobInfo, key, kind string) (data []byte, errStatus int, err error) {
+	defer func() {
+		s.analysisMu.Lock()
+		ch := s.analysisBusy[key]
+		delete(s.analysisBusy, key)
+		s.analysisMu.Unlock()
+		close(ch)
+	}()
+	if s.cfg.Analyze == nil {
+		return nil, http.StatusNotImplemented, fmt.Errorf("analysis is not configured on this server")
+	}
+	logPath := s.outcomePath(info.ID)
+	if logPath == "" {
+		return nil, http.StatusNotFound, fmt.Errorf("outcome logging is disabled on this server")
+	}
+	if _, err := os.Stat(logPath); err != nil {
+		return nil, http.StatusNotFound, fmt.Errorf("no outcome log retained for dataset %q", info.ID)
+	}
+	data, aerr := s.cfg.Analyze(logPath, kind)
+	if aerr != nil {
+		return nil, http.StatusInternalServerError, fmt.Errorf("analysis failed: %v", aerr)
+	}
+	s.metrics.Lock()
+	s.metrics.analyses++
+	s.metrics.Unlock()
+	s.cache.Put(key, data)
+	s.logf("serve: %s: computed %s analysis (%s)", info.Path, kind, shortID(info.ID))
+	return data, 0, nil
+}
+
 // handleHealthz is the liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -261,6 +439,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "geoserve_users_validated_total %d\n", m.UsersValidated)
 	fmt.Fprintf(w, "geoserve_users_per_second %.1f\n", m.UsersPerSecond)
 	fmt.Fprintf(w, "geoserve_uploads_total %d\n", m.Uploads)
+	fmt.Fprintf(w, "geoserve_analyses_total %d\n", m.AnalysesRun)
 	fmt.Fprintf(w, "geoserve_cache_hits_total %d\n", m.CacheHits)
 	fmt.Fprintf(w, "geoserve_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "geoserve_cache_entries %d\n", m.CacheEntries)

@@ -49,9 +49,18 @@ var ErrClosed = errors.New("serve: server is closed")
 
 // ValidateFunc validates one dataset path (a plain file, a shard-set
 // manifest, or a directory holding one) with the given worker count.
-// The geosocial facade supplies the canonical implementation; tests may
+// When outcomeLog is non-empty the validation must additionally write a
+// GSO1 outcome log there (implementations that cannot may ignore it —
+// the analysis endpoints then report the log as unavailable). The
+// geosocial facade supplies the canonical implementation; tests may
 // inject fakes. It must be safe for concurrent calls.
-type ValidateFunc func(path string, workers int) (*core.StreamResult, error)
+type ValidateFunc func(path string, workers int, outcomeLog string) (*core.StreamResult, error)
+
+// AnalyzeFunc runs one analysis kind over an outcome log and returns
+// the presentation-encoded JSON document to serve and cache. The
+// geosocial facade wires it to AnalyzeOutcomes. It must be safe for
+// concurrent calls.
+type AnalyzeFunc func(logPath, kind string) ([]byte, error)
 
 // Config configures a Server. Validate and SpoolDir are required; zero
 // values elsewhere select the documented defaults.
@@ -71,6 +80,45 @@ type Config struct {
 	// CacheCapacity is the LRU result-cache size in entries; <= 0
 	// selects 64.
 	CacheCapacity int
+	// CacheDir is the disk tier of the result cache: every result (and
+	// analysis document) is persisted there content-addressed by
+	// checksum and lazily reloaded after a restart, so identical bytes
+	// are never revalidated across server lifetimes. Empty selects
+	// "cache" under the spool; NoDiskCache disables the tier.
+	CacheDir string
+	// NoDiskCache keeps the result cache memory-only (evicted results
+	// then revalidate from the spool).
+	NoDiskCache bool
+	// ParamsTag fingerprints the validation configuration. The
+	// persisted tiers (disk cache, outcome logs) are namespaced by it,
+	// so a server restarted with different validation parameters never
+	// serves results computed under the old ones — dataset bytes alone
+	// do not determine a result; the parameters do too. The facade
+	// derives it from the resolved matching and visit-detection
+	// parameters. Empty uses the un-namespaced directories.
+	ParamsTag string
+	// MaxDiskCacheEntries caps the disk cache tier in files; the oldest
+	// entries are pruned as new ones are written. <= 0 means unbounded.
+	// A pruned result transparently revalidates from the spool on next
+	// request, exactly as for a memory eviction.
+	MaxDiskCacheEntries int
+	// RetainOutcomes makes every validation write a GSO1 outcome log
+	// under "outcomes" in the spool, content-addressed by dataset
+	// checksum — the input of the outcomes and analysis endpoints.
+	RetainOutcomes bool
+	// MaxOutcomeLogs caps retained outcome logs in files, pruned oldest
+	// first. <= 0 means unbounded. The outcomes/analysis endpoints
+	// answer 404 for a pruned log; re-adding or re-uploading the
+	// dataset revalidates it and regenerates the log (a cached result
+	// alone never short-circuits that regeneration).
+	MaxOutcomeLogs int
+	// Analyze runs one log-backed analysis (required for the analysis
+	// endpoints; they answer 501 without it).
+	Analyze AnalyzeFunc
+	// AnalysisKinds are the kinds the analysis endpoint accepts
+	// (unlisted kinds answer 404). The facade passes
+	// geosocial.AnalysisKinds.
+	AnalysisKinds []string
 	// PollInterval is the spool scan period. 0 selects 2s; < 0 disables
 	// the watcher entirely (uploads still work).
 	PollInterval time.Duration
@@ -122,14 +170,20 @@ type JobInfo struct {
 type job struct {
 	info JobInfo
 	done chan struct{}
+	// noLog records that a completed validation was asked for an
+	// outcome log and produced none — the injected ValidateFunc is not
+	// log-capable (its doc contract permits ignoring the parameter), so
+	// a missing log must not trigger regeneration attempts forever.
+	noLog bool
 }
 
 // Server is the validation service. Construct with New, expose with
 // ServeHTTP (it implements http.Handler), and stop with Close.
 type Server struct {
-	cfg  Config
-	poll time.Duration
-	mux  *http.ServeMux
+	cfg         Config
+	outcomesDir string // "" when outcome retention is off
+	poll        time.Duration
+	mux         *http.ServeMux
 
 	mu         sync.Mutex
 	jobs       map[string]*job   // checksum -> job
@@ -137,6 +191,19 @@ type Server struct {
 	byPath     map[string]string // dataset path -> checksum
 	shardFiles map[string]bool   // spool paths claimed as shards by a manifest
 	closed     bool
+
+	// analysisBusy single-flights analysis computations per cache key:
+	// concurrent requests for the same uncached (dataset, kind) wait on
+	// the first runner's channel instead of burning N× CPU.
+	analysisMu   sync.Mutex
+	analysisBusy map[string]chan struct{}
+
+	// outcomeLogs approximates the retained-log count so the O(entries)
+	// prune walk runs only when MaxOutcomeLogs is actually exceeded.
+	outcomeLogs struct {
+		sync.Mutex
+		count int
+	}
 
 	cache *resultCache
 	sem   chan struct{} // MaxJobs tickets
@@ -151,6 +218,7 @@ type Server struct {
 		users        int64 // users across completed validations
 		validateTime time.Duration
 		uploads      int64
+		analyses     int64 // log-backed analyses actually run (not cache hits)
 	}
 }
 
@@ -173,17 +241,46 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 64
 	}
-	s := &Server{
-		cfg:        cfg,
-		poll:       cfg.PollInterval,
-		jobs:       make(map[string]*job),
-		byPath:     make(map[string]string),
-		shardFiles: make(map[string]bool),
-		cache:      newResultCache(cfg.CacheCapacity),
-		sem:        make(chan struct{}, cfg.MaxJobs),
-		stop:       make(chan struct{}),
-		start:      time.Now(),
+	cacheDir := ""
+	if !cfg.NoDiskCache {
+		cacheDir = cfg.CacheDir
+		if cacheDir == "" {
+			cacheDir = filepath.Join(cfg.SpoolDir, "cache")
+		}
+		if cfg.ParamsTag != "" {
+			cacheDir = filepath.Join(cacheDir, cfg.ParamsTag)
+		}
 	}
+	cache, err := newResultCache(cfg.CacheCapacity, cacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: create cache dir: %w", err)
+	}
+	cache.maxDiskEntries = cfg.MaxDiskCacheEntries
+	outcomesDir := ""
+	if cfg.RetainOutcomes {
+		outcomesDir = filepath.Join(cfg.SpoolDir, "outcomes")
+		if cfg.ParamsTag != "" {
+			outcomesDir = filepath.Join(outcomesDir, cfg.ParamsTag)
+		}
+		if err := os.MkdirAll(outcomesDir, 0o777); err != nil {
+			return nil, fmt.Errorf("serve: create outcomes dir: %w", err)
+		}
+	}
+	logCount := countFiles(outcomesDir, ".gso")
+	s := &Server{
+		cfg:          cfg,
+		outcomesDir:  outcomesDir,
+		poll:         cfg.PollInterval,
+		jobs:         make(map[string]*job),
+		byPath:       make(map[string]string),
+		shardFiles:   make(map[string]bool),
+		analysisBusy: make(map[string]chan struct{}),
+		cache:        cache,
+		sem:          make(chan struct{}, cfg.MaxJobs),
+		stop:         make(chan struct{}),
+		start:        time.Now(),
+	}
+	s.outcomeLogs.count = logCount
 	if s.poll == 0 {
 		s.poll = 2 * time.Second
 	}
@@ -293,24 +390,63 @@ func (s *Server) displayPath(path string) string {
 // enqueueing the job if it does not exist. A checksum whose result is
 // still cached completes instantly (a cache hit).
 func (s *Server) register(path, sum string) (JobInfo, error) {
+	// When outcome retention is on, a missing log disqualifies every
+	// shortcut below: the cached result alone cannot serve the outcomes
+	// and analysis endpoints, so a re-add of the dataset revalidates to
+	// regenerate the log (the documented recovery from log pruning).
+	logMissing := false
+	if p := s.outcomePath(sum); p != "" {
+		if _, err := os.Stat(p); err != nil {
+			logMissing = true
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobInfo{}, ErrClosed
+	}
+	s.byPath[path] = sum
+	if j, ok := s.jobs[sum]; ok {
+		defer s.mu.Unlock()
+		// A failed job is not a permanent verdict on the checksum:
+		// failures can be transient (I/O, a file caught mid-copy), so an
+		// explicit re-add or re-upload of the same bytes retries. A done
+		// job whose outcome log was pruned revalidates the same way —
+		// unless a previous validation already showed the validator
+		// produces no log, in which case revalidating cannot help.
+		if j.info.Status == StatusFailed || (j.info.Status == StatusDone && logMissing && !j.noLog) {
+			reason := "retrying failed validation"
+			if j.info.Status == StatusDone {
+				reason = "outcome log pruned, revalidating"
+			}
+			j.info.Status = StatusPending
+			j.info.Error = ""
+			j.info.Cached = false
+			j.info.ElapsedMS = 0
+			j.done = make(chan struct{})
+			s.logf("serve: %s: %s (%s)", j.info.Path, reason, shortID(sum))
+			s.enqueueLocked(j, path)
+		}
+		return j.info, nil
+	}
+	s.mu.Unlock()
+
+	// The cache lookup may touch the disk tier, so it runs outside s.mu
+	// (a slow disk must not stall every handler behind this register).
+	data, hit := s.cache.Get(sum)
+	if logMissing {
+		hit = false // a result without its outcome log is not complete
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return JobInfo{}, ErrClosed
 	}
-	s.byPath[path] = sum
 	if j, ok := s.jobs[sum]; ok {
-		// A failed job is not a permanent verdict on the checksum:
-		// failures can be transient (I/O, a file caught mid-copy), so an
-		// explicit re-add or re-upload of the same bytes retries.
-		if j.info.Status == StatusFailed {
-			j.info.Status = StatusPending
-			j.info.Error = ""
-			j.info.ElapsedMS = 0
-			j.done = make(chan struct{})
-			s.logf("serve: %s: retrying failed validation (%s)", j.info.Path, shortID(sum))
-			s.enqueueLocked(j, path)
-		}
+		// Another register won the race while the lock was dropped; its
+		// freshly created job is authoritative.
 		return j.info, nil
 	}
 	j := &job{
@@ -319,9 +455,10 @@ func (s *Server) register(path, sum string) (JobInfo, error) {
 	}
 	s.jobs[sum] = j
 	s.order = append(s.order, sum)
-	if data, hit := s.cache.Get(sum); hit {
+	if hit {
 		// An identical dataset was validated earlier (under another
-		// path): serve its cached result, skip the recomputation.
+		// path, or in a previous server life): serve its cached result,
+		// skip the recomputation.
 		j.info.Status = StatusDone
 		j.info.Cached = true
 		if res, err := core.DecodeStreamResult(data); err == nil {
@@ -376,8 +513,16 @@ func (s *Server) runJob(j *job, path string) {
 	s.mu.Unlock()
 
 	t0 := time.Now()
-	res, err := s.cfg.Validate(path, s.cfg.Workers)
+	logPath := s.outcomePath(j.info.ID)
+	res, err := s.cfg.Validate(path, s.cfg.Workers, logPath)
 	elapsed := time.Since(t0)
+
+	noLog := false
+	if err == nil && logPath != "" {
+		if _, serr := os.Stat(logPath); serr != nil {
+			noLog = true // the validator ignored the outcome-log request
+		}
+	}
 
 	var encoded []byte
 	if err == nil {
@@ -394,6 +539,25 @@ func (s *Server) runJob(j *job, path string) {
 	}
 	s.metrics.Unlock()
 
+	if err == nil {
+		// Publish to the cache (which may write the disk tier) before
+		// taking s.mu: by the time the job flips to done, the result is
+		// fetchable, and the file write never blocks other handlers.
+		s.cache.Put(j.info.ID, encoded)
+		if s.outcomesDir != "" && !noLog {
+			s.outcomeLogs.Lock()
+			s.outcomeLogs.count++
+			prune := s.cfg.MaxOutcomeLogs > 0 && s.outcomeLogs.count > s.cfg.MaxOutcomeLogs
+			s.outcomeLogs.Unlock()
+			if prune {
+				n := pruneDir(s.outcomesDir, ".gso", s.cfg.MaxOutcomeLogs)
+				s.outcomeLogs.Lock()
+				s.outcomeLogs.count = n
+				s.outcomeLogs.Unlock()
+			}
+		}
+	}
+
 	s.mu.Lock()
 	j.info.ElapsedMS = elapsed.Milliseconds()
 	if err != nil {
@@ -401,14 +565,25 @@ func (s *Server) runJob(j *job, path string) {
 		j.info.Error = err.Error()
 		s.logf("serve: %s: failed after %v: %v", j.info.Path, elapsed.Round(time.Millisecond), err)
 	} else {
-		s.cache.Put(j.info.ID, encoded)
 		j.info.Status = StatusDone
 		j.info.Users = res.Users
+		j.noLog = noLog
 		s.logf("serve: %s: validated %d users in %v (%s)",
 			j.info.Path, res.Users, elapsed.Round(time.Millisecond), shortID(j.info.ID))
 	}
 	close(j.done)
 	s.mu.Unlock()
+}
+
+// outcomePath is the content-addressed outcome-log location for a
+// dataset checksum, or "" when outcome retention is off. Because the
+// name is the checksum, a job satisfied from the result cache still
+// finds the log a previous validation of the same bytes wrote.
+func (s *Server) outcomePath(id string) string {
+	if s.outcomesDir == "" {
+		return ""
+	}
+	return filepath.Join(s.outcomesDir, id+".gso")
 }
 
 // Job returns the current state of a dataset job by ID.
@@ -448,9 +623,26 @@ func (s *Server) result(id string) (data []byte, info JobInfo, ok bool) {
 		s.mu.Unlock()
 		return nil, info, true
 	}
+	s.mu.Unlock()
+
+	// The cache lookup may read the disk tier; never under s.mu.
 	if data, ok = s.cache.Get(id); ok {
-		s.mu.Unlock()
 		return data, info, true
+	}
+
+	s.mu.Lock()
+	// Re-resolve: the job may have changed while the lock was dropped
+	// (withdrawn by a manifest claim, or already re-queued by a
+	// concurrent reader that observed the same miss).
+	j, exists = s.jobs[id]
+	if !exists {
+		s.mu.Unlock()
+		return nil, JobInfo{}, false
+	}
+	info = j.info
+	if j.info.Status != StatusDone {
+		s.mu.Unlock()
+		return nil, info, true
 	}
 	// Evicted: revalidate from the spool.
 	if s.closed {
@@ -799,6 +991,7 @@ type Metrics struct {
 	ValidateTime      time.Duration // wall-clock spent validating
 	UsersPerSecond    float64       // UsersValidated / ValidateTime
 	Uploads           int64         // HTTP uploads accepted
+	AnalysesRun       int64         // log-backed analyses computed (cache misses)
 	CacheHits         int64         // results served without recomputation
 	CacheMisses       int64         // cache lookups that missed
 	CacheEntries      int           // results currently cached
@@ -817,6 +1010,7 @@ func (s *Server) Snapshot() Metrics {
 	m.UsersValidated = s.metrics.users
 	m.ValidateTime = s.metrics.validateTime
 	m.Uploads = s.metrics.uploads
+	m.AnalysesRun = s.metrics.analyses
 	s.metrics.Unlock()
 	if m.ValidateTime > 0 {
 		m.UsersPerSecond = float64(m.UsersValidated) / m.ValidateTime.Seconds()

@@ -26,7 +26,7 @@ import (
 // ones — enough to exercise caching without the real pipeline. Files
 // whose content starts with "FAIL" fail validation.
 func fakeValidate(calls *atomic.Int64) ValidateFunc {
-	return func(path string, workers int) (*core.StreamResult, error) {
+	return func(path string, workers int, outcomeLog string) (*core.StreamResult, error) {
 		calls.Add(1)
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -50,7 +50,8 @@ func newTestServer(t *testing.T, calls *atomic.Int64, mutate func(*Config)) *Ser
 	cfg := Config{
 		SpoolDir:     t.TempDir(),
 		Validate:     fakeValidate(calls),
-		PollInterval: -1, // watcher off unless a test opts in
+		PollInterval: -1,   // watcher off unless a test opts in
+		NoDiskCache:  true, // eviction semantics under test are the memory tier's
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -190,12 +191,12 @@ func TestFailedJobRetriesOnReupload(t *testing.T) {
 	failing.Store(true)
 	s := newTestServer(t, &calls, func(c *Config) {
 		inner := fakeValidate(&calls)
-		c.Validate = func(path string, workers int) (*core.StreamResult, error) {
+		c.Validate = func(path string, workers int, outcomeLog string) (*core.StreamResult, error) {
 			if failing.Load() {
 				calls.Add(1)
 				return nil, errors.New("transient failure")
 			}
-			return inner(path, workers)
+			return inner(path, workers, outcomeLog)
 		}
 	})
 
@@ -569,7 +570,7 @@ func TestCloseLeavesQueuedJobsPending(t *testing.T) {
 	started := make(chan struct{}, 8)
 	s := newTestServer(t, &calls, func(c *Config) {
 		c.MaxJobs = 1
-		c.Validate = func(path string, workers int) (*core.StreamResult, error) {
+		c.Validate = func(path string, workers int, outcomeLog string) (*core.StreamResult, error) {
 			started <- struct{}{}
 			<-release
 			return &core.StreamResult{Name: "slow", Users: 1, Taxonomy: map[string]int{}}, nil

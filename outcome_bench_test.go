@@ -1,0 +1,106 @@
+package geosocial_test
+
+// Benchmarks for the columnar outcome sink and the log-backed analysis
+// paths: what outcome capture costs on top of streaming validation, and
+// what each §5–§7 analysis costs when it runs from the log instead of
+// in-memory outcomes. CI archives both as BENCH_analysis.json.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"geosocial"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+// outcomeBench lazily prepares a shared binary dataset and outcome log
+// (dataset generation is the expensive common prefix).
+var outcomeBench struct {
+	once    sync.Once
+	err     error
+	dataset string
+	logPath string
+	users   int
+}
+
+func outcomeBenchSetup(b *testing.B) (dataset, logPath string, users int) {
+	b.Helper()
+	outcomeBench.once.Do(func() {
+		ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.1), rng.New(42))
+		if err != nil {
+			outcomeBench.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "geosocial-outcome-bench")
+		if err != nil {
+			outcomeBench.err = err
+			return
+		}
+		outcomeBench.dataset = filepath.Join(dir, "primary.bin.gz")
+		if err := ds.SaveFile(outcomeBench.dataset); err != nil {
+			outcomeBench.err = err
+			return
+		}
+		outcomeBench.logPath = filepath.Join(dir, "primary.gso")
+		res, err := geosocial.ValidateFileOpts(outcomeBench.dataset, geosocial.StreamOptions{
+			OutcomeLog: outcomeBench.logPath,
+		})
+		if err != nil {
+			outcomeBench.err = err
+			return
+		}
+		outcomeBench.users = res.Users
+	})
+	if outcomeBench.err != nil {
+		b.Fatal(outcomeBench.err)
+	}
+	return outcomeBench.dataset, outcomeBench.logPath, outcomeBench.users
+}
+
+// BenchmarkOutcomeSink measures streaming validation with and without
+// the outcome sink attached — the capture overhead a production ingest
+// pays for analyzable logs.
+func BenchmarkOutcomeSink(b *testing.B) {
+	dataset, _, users := outcomeBenchSetup(b)
+	for _, sink := range []struct {
+		name string
+		log  bool
+	}{{"validate", false}, {"validate+sink", true}} {
+		b.Run(sink.name, func(b *testing.B) {
+			dir := b.TempDir()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := geosocial.StreamOptions{Workers: 4}
+				if sink.log {
+					opts.OutcomeLog = filepath.Join(dir, "bench.gso")
+				}
+				if _, err := geosocial.ValidateFileOpts(dataset, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(users)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+		})
+	}
+}
+
+// BenchmarkAnalyzeFromLog measures each log-backed analysis over a
+// prepared outcome log.
+func BenchmarkAnalyzeFromLog(b *testing.B) {
+	_, logPath, users := outcomeBenchSetup(b)
+	for _, kind := range geosocial.AnalysisKinds() {
+		b.Run(kind, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := geosocial.AnalyzeOutcomes(logPath, kind); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(users)*float64(b.N)/b.Elapsed().Seconds(), "users/s")
+		})
+	}
+}

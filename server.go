@@ -9,10 +9,15 @@ package geosocial
 // same dataset, for any worker count.
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"time"
 
+	"geosocial/internal/core"
 	"geosocial/internal/serve"
+	"geosocial/internal/visits"
 )
 
 // ServerOptions configures NewServer. The zero value serves the current
@@ -33,8 +38,32 @@ type ServerOptions struct {
 	// the watcher; uploads still work).
 	PollInterval time.Duration
 	// Stream carries the validation parameters and worker count every
-	// job runs with, exactly as ValidateFileOpts interprets them.
+	// job runs with, exactly as ValidateFileOpts interprets them. Its
+	// OutcomeLog field is ignored (the service owns per-job log paths;
+	// see Outcomes).
 	Stream StreamOptions
+	// Outcomes makes every validation also write a GSO1 outcome log
+	// (content-addressed under "outcomes" in the spool) and enables the
+	// /v1/datasets/{id}/outcomes and /analysis/{kind} endpoints, wired
+	// to AnalyzeOutcomes with default options; analysis documents are
+	// cached alongside validation results.
+	Outcomes bool
+	// NoDiskCache keeps the result cache memory-only. By default every
+	// result (and analysis document) is persisted under "cache" in the
+	// spool and reloaded lazily after a restart, so a restarted server
+	// never revalidates bytes it has already seen. The persisted tiers
+	// are namespaced by a fingerprint of the validation parameters, so
+	// restarting with different parameters starts a fresh namespace
+	// instead of serving results the old parameters computed.
+	NoDiskCache bool
+	// MaxDiskCache caps the persisted result/analysis entries in files
+	// (oldest pruned first; pruned results revalidate from the spool).
+	// <= 0 means unbounded.
+	MaxDiskCache int
+	// MaxOutcomeLogs caps retained outcome logs in files (oldest pruned
+	// first; the outcomes/analysis endpoints answer 404 for a pruned
+	// log). <= 0 means unbounded.
+	MaxOutcomeLogs int
 	// Logf, when non-nil, receives one line per service lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -49,21 +78,67 @@ func NewServer(opts ServerOptions) (*serve.Server, error) {
 	if opts.SpoolDir == "" {
 		opts.SpoolDir = "."
 	}
-	srv, err := serve.New(serve.Config{
-		SpoolDir:      opts.SpoolDir,
-		Workers:       opts.Stream.Workers,
-		MaxJobs:       opts.MaxJobs,
-		CacheCapacity: opts.CacheCapacity,
-		PollInterval:  opts.PollInterval,
-		Logf:          opts.Logf,
-		Validate: func(path string, workers int) (*StreamResult, error) {
+	cfg := serve.Config{
+		SpoolDir:            opts.SpoolDir,
+		Workers:             opts.Stream.Workers,
+		MaxJobs:             opts.MaxJobs,
+		CacheCapacity:       opts.CacheCapacity,
+		NoDiskCache:         opts.NoDiskCache,
+		ParamsTag:           validationFingerprint(opts.Stream),
+		MaxDiskCacheEntries: opts.MaxDiskCache,
+		RetainOutcomes:      opts.Outcomes,
+		MaxOutcomeLogs:      opts.MaxOutcomeLogs,
+		PollInterval:        opts.PollInterval,
+		Logf:                opts.Logf,
+		Validate: func(path string, workers int, outcomeLog string) (*StreamResult, error) {
 			o := opts.Stream
 			o.Workers = workers
+			o.OutcomeLog = outcomeLog
 			return ValidateFileOpts(path, o)
 		},
-	})
+	}
+	if opts.Outcomes {
+		cfg.AnalysisKinds = AnalysisKinds()
+		// Analysis documents are encoded here, once, in the shared
+		// presentation encoding — the cache stores and the endpoint
+		// serves those bytes verbatim, so service output stays
+		// byte-identical to geoanalyze -json on the same log.
+		cfg.Analyze = func(logPath, kind string) ([]byte, error) {
+			a, err := AnalyzeOutcomes(logPath, kind)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := core.WriteIndentedJSON(&buf, a); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		}
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
 	return srv, nil
+}
+
+// validationFingerprint names the persisted-tier namespace for a
+// validation configuration: a short hash of the resolved matching and
+// visit-detection parameters. Dataset bytes alone do not determine a
+// result — the parameters do too — so a server restarted with
+// different parameters must not reuse results persisted under the old
+// ones. Zero options resolve to the paper defaults before hashing, so
+// "defaults by omission" and "defaults spelled out" share a namespace.
+// Workers are excluded: results are identical for any worker count.
+func validationFingerprint(o StreamOptions) string {
+	params := o.Params
+	if params == (core.Params{}) {
+		params = core.DefaultParams()
+	}
+	vcfg := o.VisitConfig
+	if vcfg == (visits.Config{}) {
+		vcfg = visits.DefaultConfig()
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("gso-params|%+v|%+v", params, vcfg)))
+	return hex.EncodeToString(h[:6])
 }
