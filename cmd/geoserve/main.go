@@ -35,8 +35,13 @@
 // keeps the cache memory-only, -disk-cache-max bounds it. Outcome
 // logs live under "outcomes" in the spool (-outcomes-max bounds
 // them); -outcomes=false disables them and the analysis endpoints.
-// The server shuts down gracefully on SIGINT / SIGTERM: in-flight
-// validations and HTTP requests drain before exit.
+// With -checkpoints, shard-set validations write per-shard checkpoints
+// under "checkpoints" in the spool (same parameter-fingerprint
+// namespacing), so a job interrupted by a crash or restart resumes
+// from its completed shards when retried; -checkpoints-max bounds the
+// retained run directories. The server shuts down gracefully on
+// SIGINT / SIGTERM: in-flight validations and HTTP requests drain
+// before exit.
 package main
 
 import (
@@ -89,6 +94,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		outcomesMax  = fs.Int("outcomes-max", 0, "max retained outcome logs, oldest pruned first (0 = unbounded)")
 		noDiskCache  = fs.Bool("no-disk-cache", false, "keep the result cache memory-only (no cache/ dir under the spool)")
 		diskCacheMax = fs.Int("disk-cache-max", 0, "max persisted result/analysis entries, oldest pruned first (0 = unbounded)")
+		ckpts        = fs.Bool("checkpoints", false, "checkpoint shard-set validations under the spool so interrupted jobs resume")
+		ckptsMax     = fs.Int("checkpoints-max", 8, "max retained checkpoint run directories, oldest pruned first (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -101,15 +108,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv, err := geosocial.NewServer(geosocial.ServerOptions{
-		SpoolDir:       *spool,
-		MaxJobs:        *maxJobs,
-		CacheCapacity:  *cache,
-		PollInterval:   *poll,
-		Outcomes:       *outcomes,
-		MaxOutcomeLogs: *outcomesMax,
-		NoDiskCache:    *noDiskCache,
-		MaxDiskCache:   *diskCacheMax,
-		Stream:         geosocial.StreamOptions{Workers: *workers},
+		SpoolDir:          *spool,
+		MaxJobs:           *maxJobs,
+		CacheCapacity:     *cache,
+		PollInterval:      *poll,
+		Outcomes:          *outcomes,
+		MaxOutcomeLogs:    *outcomesMax,
+		NoDiskCache:       *noDiskCache,
+		MaxDiskCache:      *diskCacheMax,
+		Checkpoints:       *ckpts,
+		MaxCheckpointRuns: *ckptsMax,
+		Stream:            geosocial.StreamOptions{Workers: *workers},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},

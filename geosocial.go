@@ -29,9 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"geosocial/internal/checkpoint"
 	"geosocial/internal/classify"
 	"geosocial/internal/core"
 	"geosocial/internal/detect"
@@ -128,6 +131,21 @@ type StreamOptions struct {
 	// bytes are identical for any worker count and any shard split of
 	// the same dataset.
 	OutcomeLog string
+	// CheckpointDir, when non-empty, makes sharded validation crash-safe
+	// and resumable: as each shard completes, its results (aggregate
+	// counters, user IDs, and outcome-log records when OutcomeLog is
+	// set) are published atomically to a checkpoint fragment in this
+	// directory, keyed by (manifest checksum, shard checksum, parameter
+	// fingerprint). A rerun of the same corpus with the same parameters
+	// skips every checkpointed shard and merges its fragment instead,
+	// producing a StreamResult — and an outcome log — byte-identical to
+	// an uninterrupted run, for any worker count. Only shard-set inputs
+	// checkpoint; plain files and explicit path lists ignore the field.
+	// See docs/FORMAT.md for the fragment format and atomicity contract.
+	CheckpointDir string
+	// Logf, when non-nil, receives one line per checkpoint event (shard
+	// skipped, checkpoint written, corrupt fragment recovered).
+	Logf func(format string, args ...any)
 }
 
 // StreamResult is the bounded-memory analogue of ValidationResult: the
@@ -187,7 +205,7 @@ func ValidateFileOpts(path string, opts StreamOptions) (*StreamResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	res, err := validateSources(stream.Name, db, []trace.FrameSource{stream.Frames()}, []string{path}, opts)
+	res, err := validateSources(stream.Name, db, []trace.FrameSource{stream.Frames()}, []string{path}, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +256,7 @@ func ValidatePaths(paths []string, opts StreamOptions) (*StreamResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	res, err := validateSources(streams[0].Name, db, srcs, paths, opts)
+	res, err := validateSources(streams[0].Name, db, srcs, paths, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -274,12 +292,109 @@ func validateShardSet(path string, opts StreamOptions) (*StreamResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	res, err := validateSources(ss.Manifest.Name, db, srcs, labels, opts)
+	ck, err := openCheckpoints(ss, labels, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := validateSources(ss.Manifest.Name, db, srcs, labels, opts, ck)
 	if err != nil {
 		return nil, err
 	}
 	res.Format = trace.FormatBinary
 	return res, nil
+}
+
+// ckptRun carries one sharded validation's checkpoint state: the open
+// store, each shard's content checksum and manifest user count, and —
+// for shards whose checkpoint was found at preload — the persisted
+// aggregates and user IDs to merge instead of revalidating.
+type ckptRun struct {
+	store *checkpoint.Store
+	sums  []string           // per-shard content checksum (key half)
+	want  []int              // per-shard manifest user count
+	metas []*checkpoint.Meta // non-nil marks a checkpointed (skipped) shard
+	ids   [][]int            // the user IDs a skipped shard contributed
+	logf  func(format string, args ...any)
+}
+
+// logff forwards to the run's Logf when set.
+func (c *ckptRun) logff(format string, args ...any) {
+	if c.logf != nil {
+		c.logf(format, args...)
+	}
+}
+
+// openCheckpoints opens the checkpoint store for a shard set and
+// preloads each shard's fragment (meta and user IDs only — outcome-log
+// records are replayed later, once the log writer exists). It returns
+// nil when opts does not request checkpointing. A fragment that fails
+// to decode is removed and its shard revalidates — corruption degrades
+// to recomputation, never to a wrong or aborted result.
+func openCheckpoints(ss *trace.ShardSet, labels []string, opts StreamOptions) (*ckptRun, error) {
+	if opts.CheckpointDir == "" {
+		return nil, nil
+	}
+	// The parameter fingerprint is half of the checkpoint key; logging
+	// runs carry a distinct tag because their fragments must hold the
+	// per-user records a log-less fragment legitimately omits.
+	tag := validationFingerprint(opts)
+	if opts.OutcomeLog != "" {
+		tag += "+log"
+	}
+	store, err := checkpoint.Open(opts.CheckpointDir, checkpoint.ManifestChecksum(&ss.Manifest), tag)
+	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	k := len(ss.Manifest.Shards)
+	ck := &ckptRun{
+		store: store,
+		sums:  make([]string, k),
+		want:  make([]int, k),
+		metas: make([]*checkpoint.Meta, k),
+		ids:   make([][]int, k),
+		logf:  opts.Logf,
+	}
+	for i, info := range ss.Manifest.Shards {
+		ck.want[i] = info.Users
+		sum, err := checkpoint.FileChecksum(filepath.Join(ss.Dir, info.File))
+		if err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		ck.sums[i] = sum
+		m, ids, err := store.Load(sum, nil)
+		if err != nil {
+			ck.logff("geosocial: shard %s: checkpoint unreadable, revalidating: %v", labels[i], err)
+			if err := store.Remove(sum); err != nil {
+				return nil, fmt.Errorf("geosocial: %w", err)
+			}
+			continue
+		}
+		ck.metas[i], ck.ids[i] = m, ids
+	}
+	return ck, nil
+}
+
+// ckptSource wraps a shard's FrameSource to record when the shard has
+// been fully and cleanly consumed. The flag is atomic because frames
+// are pulled on a producer goroutine while the commit decision runs on
+// the collecting goroutine; it is also deliberately non-blocking — in
+// the serial (workers == 1) merge, a shard's EOF is only observed one
+// round after its last user reaches the sink, so commits poll the flag
+// instead of waiting on it.
+type ckptSource struct {
+	trace.FrameSource
+	eof atomic.Bool
+}
+
+// NextFrame forwards to the wrapped source, latching clean end of
+// stream (which, for a ShardReader, implies the manifest user count
+// was verified).
+func (c *ckptSource) NextFrame() (trace.Frame, error) {
+	fr, err := c.FrameSource.NextFrame()
+	if err == io.EOF {
+		c.eof.Store(true)
+	}
+	return fr, err
 }
 
 // validateSources is the shared multi-source validation engine behind
@@ -290,13 +405,25 @@ func validateShardSet(path string, opts StreamOptions) (*StreamResult, error) {
 // aggregates are sums of per-user integer counts, so they are identical
 // to single-stream validation of the same users for any worker count
 // and any way of splitting the corpus.
-func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels []string, opts StreamOptions) (*StreamResult, error) {
+//
+// When ck is non-nil the run is checkpointed: sources whose fragment
+// was preloaded are not streamed — their persisted counters merge in
+// and their records replay into the outcome log — and every live
+// source commits a fragment the moment it is fully consumed, so a kill
+// at any point loses at most the shards still in flight. Checkpointed
+// and live shards contribute through the same commutative sums, which
+// is why a resumed result is byte-identical to an uninterrupted one.
+func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels []string, opts StreamOptions, ck *ckptRun) (*StreamResult, error) {
 	v := &core.Validator{Params: opts.Params, VisitConfig: opts.VisitConfig}
 	clsParams := classify.DefaultParams()
 	res := &StreamResult{Name: name, Taxonomy: make(map[string]int, classify.NumKinds)}
-	stats := make([]ShardStat, len(srcs))
+	n := len(srcs)
+	stats := make([]ShardStat, n)
+	taxs := make([]map[string]int, n)
+	truths := make([]core.TruthAccum, n)
 	for i := range stats {
 		stats[i].Path = labels[i]
+		taxs[i] = make(map[string]int, classify.NumKinds)
 	}
 	var logw *outcome.Writer
 	if opts.OutcomeLog != "" {
@@ -306,20 +433,120 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 		}
 		defer logw.Discard() // no-op once Close has published the log
 	}
-	var truth core.TruthAccum
 	seen := make(map[int]int, 256) // user ID -> source index
-	type outcomeCls struct {
-		out core.UserOutcome
-		cls *classify.Classification
-		rec *outcome.Record // outcome-log record, nil unless logging
+
+	// Merge preloaded checkpoints: seed the skipped shards' counters and
+	// duplicate-ID set, and replay their records into the outcome log
+	// (the log writer canonicalizes record order at Close, so replayed
+	// and live records interleave freely).
+	var (
+		frags   []*checkpoint.Frag
+		wrapped []*ckptSource
+		ids     [][]int
+	)
+	if ck != nil {
+		frags = make([]*checkpoint.Frag, n)
+		wrapped = make([]*ckptSource, n)
+		ids = make([][]int, n)
+		defer func() {
+			for _, fr := range frags {
+				if fr != nil {
+					fr.Abort()
+				}
+			}
+		}()
+		for i := 0; i < n; i++ {
+			m := ck.metas[i]
+			if m == nil {
+				continue
+			}
+			stats[i].Users = m.Users
+			stats[i].Partition = m.Partition
+			for k, c := range m.Taxonomy {
+				taxs[i][k] = c
+			}
+			truths[i].AddCounts(m.Truth)
+			for _, id := range ck.ids[i] {
+				if prev, dup := seen[id]; dup {
+					return nil, fmt.Errorf("geosocial: duplicate user ID %d (%s and %s)", id, labels[prev], labels[i])
+				}
+				seen[id] = i
+			}
+			if logw != nil {
+				if _, _, err := ck.store.Load(ck.sums[i], func(data []byte) error {
+					rec, err := outcome.DecodeRecord(data)
+					if err != nil {
+						return err
+					}
+					return logw.Write(rec)
+				}); err != nil {
+					return nil, fmt.Errorf("geosocial: replay checkpoint for %s: %w", labels[i], err)
+				}
+			}
+			ck.logff("geosocial: shard %s: checkpoint hit, skipping (%d users)", labels[i], m.Users)
+		}
 	}
-	next := make([]func() (trace.Frame, error), len(srcs))
-	for s := range srcs {
-		next[s] = srcs[s].NextFrame
+
+	// The merged run streams only the live sources; live[j] maps the
+	// merge's source index back to the original shard index.
+	var live []int
+	var next []func() (trace.Frame, error)
+	for i := range srcs {
+		if ck != nil && ck.metas[i] != nil {
+			continue
+		}
+		live = append(live, i)
+		if ck != nil {
+			w := &ckptSource{FrameSource: srcs[i]}
+			wrapped[i] = w
+			next = append(next, w.NextFrame)
+			fr, err := ck.store.Begin(ck.sums[i])
+			if err != nil {
+				return nil, fmt.Errorf("geosocial: %w", err)
+			}
+			frags[i] = fr
+		} else {
+			next = append(next, srcs[i].NextFrame)
+		}
+	}
+
+	// commitReady publishes the fragment of every live shard that has
+	// been fully consumed (clean EOF latched and all its users through
+	// the sink). It runs after each sunk user and once after the merge:
+	// in the serial merge a shard's EOF is observed a round after its
+	// last user, so the final sweep catches what the per-user polls
+	// cannot.
+	commitReady := func() error {
+		if ck == nil {
+			return nil
+		}
+		for _, i := range live {
+			if frags[i] == nil || !wrapped[i].eof.Load() || stats[i].Users != ck.want[i] {
+				continue
+			}
+			if err := frags[i].Commit(&checkpoint.Meta{
+				Users:     stats[i].Users,
+				Partition: stats[i].Partition,
+				Taxonomy:  taxs[i],
+				Truth:     truths[i].Counts(),
+			}, ids[i]); err != nil {
+				return err
+			}
+			frags[i] = nil
+			ck.logff("geosocial: shard %s: checkpoint written (%d users)", labels[i], stats[i].Users)
+		}
+		return nil
+	}
+
+	type outcomeCls struct {
+		out      core.UserOutcome
+		cls      *classify.Classification
+		rec      *outcome.Record // outcome-log record, nil unless logging
+		recBytes []byte          // its encoding, nil unless checkpointing a logging run
 	}
 	err := par.MergeStreams(opts.Workers, next,
-		func(shard, _ int, fr trace.Frame) (outcomeCls, error) {
-			u, err := srcs[shard].DecodeFrame(fr)
+		func(j, _ int, fr trace.Frame) (outcomeCls, error) {
+			u, err := srcs[live[j]].DecodeFrame(fr)
 			if err != nil {
 				return outcomeCls{}, err
 			}
@@ -339,10 +566,16 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 				if oc.rec, err = outcome.NewRecord(o, cl); err != nil {
 					return outcomeCls{}, err
 				}
+				if ck != nil {
+					if oc.recBytes, err = outcome.EncodeRecord(oc.rec); err != nil {
+						return outcomeCls{}, err
+					}
+				}
 			}
 			return oc, nil
 		},
-		func(shard, _ int, oc outcomeCls) error {
+		func(j, _ int, oc outcomeCls) error {
+			shard := live[j]
 			id := oc.out.User.ID
 			if prev, dup := seen[id]; dup {
 				return fmt.Errorf("duplicate user ID %d (%s and %s)", id, labels[prev], labels[shard])
@@ -351,15 +584,28 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 			stats[shard].Users++
 			stats[shard].Partition.Add(oc.out)
 			for _, k := range oc.cls.Kinds {
-				res.Taxonomy[k.String()]++
+				taxs[shard][k.String()]++
 			}
-			truth.Add(oc.out)
+			truths[shard].Add(oc.out)
+			if ck != nil {
+				ids[shard] = append(ids[shard], id)
+				if oc.recBytes != nil {
+					if err := frags[shard].AddRecord(oc.recBytes); err != nil {
+						return err
+					}
+				}
+			}
 			if logw != nil {
-				return logw.Write(oc.rec)
+				if err := logw.Write(oc.rec); err != nil {
+					return err
+				}
 			}
-			return nil
+			return commitReady()
 		})
 	if err != nil {
+		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	if err := commitReady(); err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
 	if logw != nil {
@@ -368,9 +614,14 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 		}
 	}
 	res.Shards = stats
-	for _, st := range stats {
-		res.Users += st.Users
-		res.Partition.Merge(st.Partition)
+	var truth core.TruthAccum
+	for i := range stats {
+		res.Users += stats[i].Users
+		res.Partition.Merge(stats[i].Partition)
+		for k, c := range taxs[i] {
+			res.Taxonomy[k] += c
+		}
+		truth.AddCounts(truths[i].Counts())
 	}
 	if truth.Labeled() > 0 {
 		sc, err := truth.Score()

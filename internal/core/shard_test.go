@@ -155,6 +155,97 @@ func TestValidateShardsRejectsCrossShardDuplicates(t *testing.T) {
 	}
 }
 
+// TestResumeShards covers the checkpoint-aware entry point: skipped
+// shards are never streamed, live shards produce exactly the
+// partitions a full run produces for them, and a pre-seeded seen map
+// still rejects duplicates between a skipped shard's users and a live
+// shard's.
+func TestResumeShards(t *testing.T) {
+	ds := onGridDataset(t, 0.05, 42)
+	db, err := ds.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	splits := splitUsers(ds, shards)
+	for _, workers := range []int{1, 8} {
+		v := NewValidator()
+		v.Parallelism = workers
+		full, err := v.ValidateShards(db, binaryShardSources(t, splits), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Skip shard 0; its source slot may be nil. Seed seen with its
+		// user IDs, as a checkpoint-driven resume does.
+		srcs := binaryShardSources(t, splits)
+		srcs[0] = nil
+		skip := []bool{true, false, false}
+		seen := make(map[int]int)
+		for _, u := range splits[0].Users {
+			seen[u.ID] = 0
+		}
+		sunk := 0
+		parts, err := v.ResumeShards(db, srcs, skip, seen, func(shard int, o UserOutcome) error {
+			if shard == 0 {
+				t.Fatalf("sink saw an outcome for the skipped shard")
+			}
+			sunk++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want := len(splits[1].Users) + len(splits[2].Users); sunk != want {
+			t.Fatalf("workers=%d: sink saw %d users, want %d", workers, sunk, want)
+		}
+		if parts[0] != (Partition{}) {
+			t.Fatalf("workers=%d: skipped shard has partition %+v", workers, parts[0])
+		}
+		for s := 1; s < shards; s++ {
+			if parts[s] != full[s] {
+				t.Fatalf("workers=%d: shard %d partition %+v, want %+v", workers, s, parts[s], full[s])
+			}
+		}
+
+		// A live user colliding with a seeded (checkpointed) ID fails.
+		dup := binaryShardSources(t, splits)
+		dup[0] = nil
+		seen2 := map[int]int{splits[1].Users[0].ID: 0}
+		_, err = v.ResumeShards(db, dup, skip, seen2, nil)
+		if err == nil || !strings.Contains(err.Error(), "duplicate user ID") {
+			t.Fatalf("workers=%d: seeded duplicate accepted: %v", workers, err)
+		}
+	}
+}
+
+// TestTruthCountsRoundTrip pins the serializable snapshot against the
+// accumulator it came from.
+func TestTruthCountsRoundTrip(t *testing.T) {
+	ds := onGridDataset(t, 0.03, 21)
+	outs, _, err := NewValidator().ValidateDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole TruthAccum
+	for _, o := range outs {
+		whole.Add(o)
+	}
+	var restored TruthAccum
+	restored.AddCounts(whole.Counts())
+	if restored != whole {
+		t.Fatalf("Counts/AddCounts round trip: %+v vs %+v", restored, whole)
+	}
+	want, err := whole.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Score()
+	if err != nil || got != want {
+		t.Fatalf("restored score %+v (%v), want %+v", got, err, want)
+	}
+}
+
 // TestPartitionMerge pins Merge against element-wise addition and the
 // zero identity.
 func TestPartitionMerge(t *testing.T) {

@@ -207,22 +207,47 @@ func (v *Validator) ValidateStream(db *poi.DB, src trace.UserSource, sink func(U
 // partition ValidateStream would produce over the concatenated users,
 // for any worker count and any shard count.
 func (v *Validator) ValidateShards(db *poi.DB, shards []trace.FrameSource, sink func(shard int, o UserOutcome) error) ([]Partition, error) {
+	return v.ResumeShards(db, shards, nil, nil, sink)
+}
+
+// ResumeShards is the checkpoint-aware form of ValidateShards: shards
+// whose skip entry is true are not opened or streamed at all (their
+// partitions come from a checkpoint store and stay zero here), and seen
+// — which may be nil — pre-seeds the cross-shard duplicate-ID check
+// with the user IDs the skipped shards contributed, so a duplicate
+// between a checkpointed shard and a live one is still rejected exactly
+// as an uninterrupted run rejects it. A nil skip streams every shard;
+// entries of a skipped shard's FrameSource slice may be nil.
+//
+// The live shards are validated in the merged order par.MergeStreams
+// defines over them alone, so the outcomes delivered to sink — and the
+// returned per-shard partitions — are identical to what a full
+// ValidateShards run delivers for those shards, for any worker count.
+func (v *Validator) ResumeShards(db *poi.DB, shards []trace.FrameSource, skip []bool, seen map[int]int, sink func(shard int, o UserOutcome) error) ([]Partition, error) {
 	params, vcfg := v.resolve()
 	parts := make([]Partition, len(shards))
-	seen := make(map[int]int, 256) // user ID -> shard, for the cross-shard duplicate check
-	next := make([]func() (trace.Frame, error), len(shards))
+	if seen == nil {
+		seen = make(map[int]int, 256) // user ID -> shard, for the cross-shard duplicate check
+	}
+	var live []int // live[j] = original shard index of merged source j
+	next := make([]func() (trace.Frame, error), 0, len(shards))
 	for s := range shards {
-		next[s] = shards[s].NextFrame
+		if skip != nil && skip[s] {
+			continue
+		}
+		live = append(live, s)
+		next = append(next, shards[s].NextFrame)
 	}
 	err := par.MergeStreams(v.Parallelism, next,
-		func(shard, _ int, fr trace.Frame) (UserOutcome, error) {
-			u, err := shards[shard].DecodeFrame(fr)
+		func(j, _ int, fr trace.Frame) (UserOutcome, error) {
+			u, err := shards[live[j]].DecodeFrame(fr)
 			if err != nil {
 				return UserOutcome{}, err
 			}
 			return validateUser(u, db, params, vcfg)
 		},
-		func(shard, _ int, o UserOutcome) error {
+		func(j, _ int, o UserOutcome) error {
+			shard := live[j]
 			if prev, dup := seen[o.User.ID]; dup {
 				return fmt.Errorf("core: duplicate user ID %d (shards %d and %d)", o.User.ID, prev, shard)
 			}
@@ -291,6 +316,38 @@ func (a *TruthAccum) AddLabel(l trace.Label, isMatched bool) {
 
 // Labeled returns the number of labeled checkins seen so far.
 func (a *TruthAccum) Labeled() int { return a.labeled }
+
+// TruthCounts is the serializable snapshot of a TruthAccum: plain
+// commutative sums, so persisted per-shard counts (the checkpoint
+// store) merge back into a live accumulator in any order and score
+// exactly like one accumulator fed the concatenated users.
+type TruthCounts struct {
+	Labeled       int `json:"labeled"`
+	Agree         int `json:"agree"`
+	MatchedHonest int `json:"matched_honest"`
+	MatchedTotal  int `json:"matched_total"`
+	HonestTotal   int `json:"honest_total"`
+}
+
+// Counts snapshots the accumulator's state.
+func (a *TruthAccum) Counts() TruthCounts {
+	return TruthCounts{
+		Labeled:       a.labeled,
+		Agree:         a.agree,
+		MatchedHonest: a.matchedHonest,
+		MatchedTotal:  a.matchedTotal,
+		HonestTotal:   a.honestTotal,
+	}
+}
+
+// AddCounts merges a persisted snapshot back into the accumulator.
+func (a *TruthAccum) AddCounts(c TruthCounts) {
+	a.labeled += c.Labeled
+	a.agree += c.Agree
+	a.matchedHonest += c.MatchedHonest
+	a.matchedTotal += c.MatchedTotal
+	a.honestTotal += c.HonestTotal
+}
 
 // Merge adds b's counts into a. Like Partition.Merge it is associative
 // and commutative, so per-shard accumulators merged in any order score

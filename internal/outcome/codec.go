@@ -125,6 +125,29 @@ func encodeRecord(e *recEnc, r *Record) error {
 	return nil
 }
 
+// EncodeRecord returns one record's GSO1 payload encoding (the bytes a
+// log stores length-prefixed), validating it first. This is the unit
+// the checkpoint store persists per user; DecodeRecord reverses it.
+func EncodeRecord(r *Record) ([]byte, error) {
+	if err := r.validate(classify.NumKinds); err != nil {
+		return nil, err
+	}
+	var e recEnc
+	if err := encodeRecord(&e, r); err != nil {
+		return nil, err
+	}
+	if len(e.buf) > maxRecordBytes {
+		return nil, fmt.Errorf("outcome: record for user %d exceeds %d bytes", r.UserID, maxRecordBytes)
+	}
+	return e.buf, nil
+}
+
+// DecodeRecord decodes and validates one payload produced by
+// EncodeRecord (or stored in a current-version log).
+func DecodeRecord(data []byte) (*Record, error) {
+	return decodeRecord(data, classify.NumKinds)
+}
+
 // --- decoding helpers ---
 
 // recDec decodes one record payload with a sticky error, so call sites

@@ -23,8 +23,8 @@ import (
 // asked for a log it writes a recognizable per-dataset document.
 func fakeValidateWithLog(calls *atomic.Int64) ValidateFunc {
 	inner := fakeValidate(calls)
-	return func(path string, workers int, outcomeLog string) (*core.StreamResult, error) {
-		res, err := inner(path, workers, outcomeLog)
+	return func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error) {
+		res, err := inner(path, workers, outcomeLog, checkpointDir)
 		if err == nil && outcomeLog != "" {
 			data, _ := os.ReadFile(path)
 			if werr := os.WriteFile(outcomeLog, append([]byte("LOG:"), data...), 0o666); werr != nil {

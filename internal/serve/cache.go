@@ -207,6 +207,45 @@ func pruneDir(dir, suffix string, max int) int {
 	return len(files) - removed
 }
 
+// pruneSubdirs is pruneDir for directory-valued entries (checkpoint
+// run directories): when dir holds more than max subdirectories, the
+// oldest (by mtime) are removed whole; the remaining count is
+// returned. max <= 0 disables pruning. A pruned run directory only
+// costs the interrupted run's partial progress — the next validation
+// starts from scratch, never produces a wrong result.
+func pruneSubdirs(dir string, max int) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	type aged struct {
+		path  string
+		mtime time.Time
+	}
+	var dirs []aged
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		dirs = append(dirs, aged{filepath.Join(dir, e.Name()), info.ModTime()})
+	}
+	if max <= 0 || len(dirs) <= max {
+		return len(dirs)
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].mtime.Before(dirs[j].mtime) })
+	removed := 0
+	for _, d := range dirs[:len(dirs)-max] {
+		if os.RemoveAll(d.path) == nil {
+			removed++
+		}
+	}
+	return len(dirs) - removed
+}
+
 // Delete drops key from both tiers. Consumers call it when cached
 // bytes turn out corrupt (a torn disk write), so the entry never
 // poisons its dataset: the next Get misses and the server recomputes

@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"geosocial/internal/checkpoint"
 	"geosocial/internal/core"
 	"geosocial/internal/trace"
 )
@@ -51,10 +52,15 @@ var ErrClosed = errors.New("serve: server is closed")
 // manifest, or a directory holding one) with the given worker count.
 // When outcomeLog is non-empty the validation must additionally write a
 // GSO1 outcome log there (implementations that cannot may ignore it —
-// the analysis endpoints then report the log as unavailable). The
-// geosocial facade supplies the canonical implementation; tests may
-// inject fakes. It must be safe for concurrent calls.
-type ValidateFunc func(path string, workers int, outcomeLog string) (*core.StreamResult, error)
+// the analysis endpoints then report the log as unavailable). When
+// checkpointDir is non-empty the validation should persist per-shard
+// checkpoints there and resume from any it finds, so a job interrupted
+// by a crash or restart re-runs only its unfinished shards
+// (implementations that cannot may ignore it — checkpointing is an
+// optimization, never a correctness requirement). The geosocial facade
+// supplies the canonical implementation; tests may inject fakes. It
+// must be safe for concurrent calls.
+type ValidateFunc func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error)
 
 // AnalyzeFunc runs one analysis kind over an outcome log and returns
 // the presentation-encoded JSON document to serve and cache. The
@@ -112,6 +118,19 @@ type Config struct {
 	// dataset revalidates it and regenerates the log (a cached result
 	// alone never short-circuits that regeneration).
 	MaxOutcomeLogs int
+	// RetainCheckpoints gives every validation a per-dataset checkpoint
+	// directory under "checkpoints" in the spool (namespaced by
+	// ParamsTag like the other persisted tiers). A validation
+	// interrupted by a crash or server restart then resumes from its
+	// completed shards instead of starting over. The directory of a
+	// successfully completed job is removed — checkpoints only outlive
+	// failed or interrupted runs.
+	RetainCheckpoints bool
+	// MaxCheckpointRuns caps retained per-dataset checkpoint run
+	// directories, pruned oldest first after a failed validation.
+	// <= 0 means unbounded. Pruning costs only the pruned run's partial
+	// progress.
+	MaxCheckpointRuns int
 	// Analyze runs one log-backed analysis (required for the analysis
 	// endpoints; they answer 501 without it).
 	Analyze AnalyzeFunc
@@ -180,10 +199,11 @@ type job struct {
 // Server is the validation service. Construct with New, expose with
 // ServeHTTP (it implements http.Handler), and stop with Close.
 type Server struct {
-	cfg         Config
-	outcomesDir string // "" when outcome retention is off
-	poll        time.Duration
-	mux         *http.ServeMux
+	cfg            Config
+	outcomesDir    string // "" when outcome retention is off
+	checkpointsDir string // "" when checkpoint retention is off
+	poll           time.Duration
+	mux            *http.ServeMux
 
 	mu         sync.Mutex
 	jobs       map[string]*job   // checksum -> job
@@ -266,19 +286,30 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: create outcomes dir: %w", err)
 		}
 	}
+	checkpointsDir := ""
+	if cfg.RetainCheckpoints {
+		checkpointsDir = filepath.Join(cfg.SpoolDir, "checkpoints")
+		if cfg.ParamsTag != "" {
+			checkpointsDir = filepath.Join(checkpointsDir, cfg.ParamsTag)
+		}
+		if err := os.MkdirAll(checkpointsDir, 0o777); err != nil {
+			return nil, fmt.Errorf("serve: create checkpoints dir: %w", err)
+		}
+	}
 	logCount := countFiles(outcomesDir, ".gso")
 	s := &Server{
-		cfg:          cfg,
-		outcomesDir:  outcomesDir,
-		poll:         cfg.PollInterval,
-		jobs:         make(map[string]*job),
-		byPath:       make(map[string]string),
-		shardFiles:   make(map[string]bool),
-		analysisBusy: make(map[string]chan struct{}),
-		cache:        cache,
-		sem:          make(chan struct{}, cfg.MaxJobs),
-		stop:         make(chan struct{}),
-		start:        time.Now(),
+		cfg:            cfg,
+		outcomesDir:    outcomesDir,
+		checkpointsDir: checkpointsDir,
+		poll:           cfg.PollInterval,
+		jobs:           make(map[string]*job),
+		byPath:         make(map[string]string),
+		shardFiles:     make(map[string]bool),
+		analysisBusy:   make(map[string]chan struct{}),
+		cache:          cache,
+		sem:            make(chan struct{}, cfg.MaxJobs),
+		stop:           make(chan struct{}),
+		start:          time.Now(),
 	}
 	s.outcomeLogs.count = logCount
 	if s.poll == 0 {
@@ -514,8 +545,21 @@ func (s *Server) runJob(j *job, path string) {
 
 	t0 := time.Now()
 	logPath := s.outcomePath(j.info.ID)
-	res, err := s.cfg.Validate(path, s.cfg.Workers, logPath)
+	ckDir := s.checkpointPath(j.info.ID)
+	res, err := s.cfg.Validate(path, s.cfg.Workers, logPath, ckDir)
 	elapsed := time.Since(t0)
+
+	if ckDir != "" {
+		if err == nil {
+			// The run completed; its fragments have nothing left to
+			// resume and would only hold disk until pruned.
+			os.RemoveAll(ckDir)
+		} else if s.cfg.MaxCheckpointRuns > 0 {
+			// The run's progress stays for the retry, but the tier as a
+			// whole is bounded: oldest interrupted runs go first.
+			pruneSubdirs(s.checkpointsDir, s.cfg.MaxCheckpointRuns)
+		}
+	}
 
 	noLog := false
 	if err == nil && logPath != "" {
@@ -584,6 +628,16 @@ func (s *Server) outcomePath(id string) string {
 		return ""
 	}
 	return filepath.Join(s.outcomesDir, id+".gso")
+}
+
+// checkpointPath is the per-dataset checkpoint run directory for a
+// dataset checksum, or "" when checkpoint retention is off. Keyed by
+// the dataset checksum, so a retried job resumes exactly its own run.
+func (s *Server) checkpointPath(id string) string {
+	if s.checkpointsDir == "" {
+		return ""
+	}
+	return filepath.Join(s.checkpointsDir, id)
 }
 
 // Job returns the current state of a dataset job by ID.
@@ -743,6 +797,13 @@ func (s *Server) Upload(r io.Reader) (JobInfo, error) {
 	tmpPath := tmp.Name()
 	h := sha256.New()
 	_, err = io.Copy(io.MultiWriter(tmp, h), r)
+	// The spool file is the upload's only durable copy, so its bytes
+	// must reach the disk before the rename can publish the name: a
+	// crash after an unsynced rename could leave the name pointing at
+	// lost content.
+	if err == nil {
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
@@ -757,13 +818,30 @@ func (s *Server) Upload(r io.Reader) (JobInfo, error) {
 	s.metrics.Unlock()
 
 	// The full checksum names the file, so renaming over an existing
-	// upload can only replace identical bytes.
+	// upload can only replace identical bytes. Whether the name already
+	// existed decides cleanup ownership below: a freshly staged file is
+	// this call's to remove on failure, an established spool file is not.
 	final := filepath.Join(s.cfg.SpoolDir, "upload-"+sum+".dataset")
+	_, statErr := os.Stat(final)
+	preexisted := statErr == nil
 	if err := os.Rename(tmpPath, final); err != nil {
 		os.Remove(tmpPath)
 		return JobInfo{}, fmt.Errorf("serve: upload: %w", err)
 	}
-	return s.register(final, sum)
+	if err := checkpoint.SyncDir(s.cfg.SpoolDir); err != nil {
+		if !preexisted {
+			os.Remove(final)
+		}
+		return JobInfo{}, fmt.Errorf("serve: upload: %w", err)
+	}
+	info, err := s.register(final, sum)
+	if err != nil && !preexisted {
+		// register refused the file (the server is closing). Left in
+		// place it would be a stranded upload no job ever references,
+		// silently ingested as a surprise dataset on the next start.
+		os.Remove(final)
+	}
+	return info, err
 }
 
 // --- spool watcher ---

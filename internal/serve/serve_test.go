@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ import (
 // ones — enough to exercise caching without the real pipeline. Files
 // whose content starts with "FAIL" fail validation.
 func fakeValidate(calls *atomic.Int64) ValidateFunc {
-	return func(path string, workers int, outcomeLog string) (*core.StreamResult, error) {
+	return func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error) {
 		calls.Add(1)
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -191,12 +192,12 @@ func TestFailedJobRetriesOnReupload(t *testing.T) {
 	failing.Store(true)
 	s := newTestServer(t, &calls, func(c *Config) {
 		inner := fakeValidate(&calls)
-		c.Validate = func(path string, workers int, outcomeLog string) (*core.StreamResult, error) {
+		c.Validate = func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error) {
 			if failing.Load() {
 				calls.Add(1)
 				return nil, errors.New("transient failure")
 			}
-			return inner(path, workers, outcomeLog)
+			return inner(path, workers, outcomeLog, checkpointDir)
 		}
 	})
 
@@ -564,13 +565,176 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 }
 
+// TestCheckpointRunDirLifecycle covers the checkpoint tier's retention
+// contract: every job gets a per-dataset run directory, a successful
+// job's directory is removed, a failed job's survives for the retry,
+// and MaxCheckpointRuns prunes the oldest surviving runs.
+func TestCheckpointRunDirLifecycle(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, func(c *Config) {
+		c.RetainCheckpoints = true
+		c.MaxCheckpointRuns = 1
+		inner := fakeValidate(&calls)
+		c.Validate = func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error) {
+			if checkpointDir == "" {
+				t.Error("job ran without a checkpoint dir")
+			} else {
+				// Simulate the engine leaving a fragment behind.
+				if err := os.MkdirAll(checkpointDir, 0o777); err != nil {
+					t.Error(err)
+				}
+				if err := os.WriteFile(filepath.Join(checkpointDir, "ckpt-x.gsf"), []byte("frag"), 0o666); err != nil {
+					t.Error(err)
+				}
+			}
+			return inner(path, workers, outcomeLog, checkpointDir)
+		}
+	})
+
+	ok, err := s.Upload(strings.NewReader("fine payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, ok.ID)
+	if _, err := os.Stat(s.checkpointPath(ok.ID)); !os.IsNotExist(err) {
+		t.Fatalf("completed job's checkpoint dir survived: %v", err)
+	}
+
+	fail1, err := s.Upload(strings.NewReader("FAIL first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, fail1.ID)
+	dir1 := s.checkpointPath(fail1.ID)
+	if _, err := os.Stat(dir1); err != nil {
+		t.Fatalf("failed job's checkpoint dir missing: %v", err)
+	}
+	// Age the first run so the prune ordering is deterministic.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(dir1, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	fail2, err := s.Upload(strings.NewReader("FAIL second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, fail2.ID)
+	if _, err := os.Stat(dir1); !os.IsNotExist(err) {
+		t.Fatalf("oldest run dir survived the cap: %v", err)
+	}
+	if _, err := os.Stat(s.checkpointPath(fail2.ID)); err != nil {
+		t.Fatalf("newest run dir pruned: %v", err)
+	}
+}
+
+// gatedReader blocks its first Read until released, signalling entry —
+// it parks an Upload mid-copy so a test can run Close underneath it.
+type gatedReader struct {
+	data    io.Reader
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (r *gatedReader) Read(p []byte) (int, error) {
+	r.once.Do(func() { close(r.entered) })
+	<-r.release
+	return r.data.Read(p)
+}
+
+// spoolFiles lists the regular files currently in the spool.
+func spoolFiles(t *testing.T, s *Server) []string {
+	t.Helper()
+	entries, err := os.ReadDir(s.cfg.SpoolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestUploadRacingCloseLeavesNoStrandedFile covers the Upload/Close
+// race: an upload that passes the entry check but reaches register
+// after Close has begun gets ErrClosed — and must not strand its staged
+// upload-<sum>.dataset in the spool, where no job references it and the
+// next start would silently ingest it.
+func TestUploadRacingCloseLeavesNoStrandedFile(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, nil)
+
+	gate := &gatedReader{
+		data:    strings.NewReader("raced payload"),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Upload(gate)
+		errc <- err
+	}()
+	<-gate.entered // Upload is past the closed check, mid-copy
+	s.Close()
+	close(gate.release)
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("racing upload returned %v, want ErrClosed", err)
+	}
+	if left := spoolFiles(t, s); len(left) != 0 {
+		t.Fatalf("racing upload stranded spool files: %v", left)
+	}
+}
+
+// TestUploadRacingCloseKeepsEstablishedFile is the ownership flip side:
+// when the raced upload's bytes were already uploaded earlier, the
+// established spool file belongs to that prior job and must survive the
+// failed re-upload's cleanup.
+func TestUploadRacingCloseKeepsEstablishedFile(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, nil)
+
+	info, err := s.Upload(strings.NewReader("kept payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, info.ID)
+	before := spoolFiles(t, s)
+	if len(before) != 1 {
+		t.Fatalf("spool after first upload: %v", before)
+	}
+
+	gate := &gatedReader{
+		data:    strings.NewReader("kept payload"),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Upload(gate)
+		errc <- err
+	}()
+	<-gate.entered
+	s.Close()
+	close(gate.release)
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("racing upload returned %v, want ErrClosed", err)
+	}
+	if left := spoolFiles(t, s); len(left) != 1 || left[0] != before[0] {
+		t.Fatalf("established upload %v became %v", before, left)
+	}
+}
+
 func TestCloseLeavesQueuedJobsPending(t *testing.T) {
 	var calls atomic.Int64
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
 	s := newTestServer(t, &calls, func(c *Config) {
 		c.MaxJobs = 1
-		c.Validate = func(path string, workers int, outcomeLog string) (*core.StreamResult, error) {
+		c.Validate = func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error) {
 			started <- struct{}{}
 			<-release
 			return &core.StreamResult{Name: "slow", Users: 1, Taxonomy: map[string]int{}}, nil

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// writeTestFragment builds a small two-section fragment and returns its
+// bytes.
+func writeTestFragment(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := NewFragmentWriter(&buf, map[string]string{
+		"shard":    "sha256:abc",
+		"manifest": "sha256:def",
+		"params":   "p1",
+	})
+	if err != nil {
+		t.Fatalf("NewFragmentWriter: %v", err)
+	}
+	if err := fw.Section("records"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][]byte{[]byte("alpha"), {}, []byte("gamma")} {
+		if err := fw.Chunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Section("meta"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Chunk([]byte("meta-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	data := writeTestFragment(t)
+
+	fr, err := NewFragmentReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewFragmentReader: %v", err)
+	}
+	want := map[string]string{"shard": "sha256:abc", "manifest": "sha256:def", "params": "p1"}
+	for k, v := range want {
+		if fr.Keys()[k] != v {
+			t.Fatalf("key %q = %q, want %q", k, fr.Keys()[k], v)
+		}
+	}
+
+	name, err := fr.NextSection()
+	if err != nil || name != "records" {
+		t.Fatalf("section 1 = %q, %v", name, err)
+	}
+	var got [][]byte
+	for {
+		c, err := fr.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("NextChunk: %v", err)
+		}
+		got = append(got, append([]byte(nil), c...))
+	}
+	if len(got) != 3 || string(got[0]) != "alpha" || len(got[1]) != 0 || string(got[2]) != "gamma" {
+		t.Fatalf("records section chunks = %q", got)
+	}
+
+	name, err = fr.NextSection()
+	if err != nil || name != "meta" {
+		t.Fatalf("section 2 = %q, %v", name, err)
+	}
+	c, err := fr.NextChunk()
+	if err != nil || string(c) != "meta-bytes" {
+		t.Fatalf("meta chunk = %q, %v", c, err)
+	}
+
+	if _, err := fr.NextSection(); err != io.EOF {
+		t.Fatalf("final NextSection = %v, want io.EOF", err)
+	}
+	// Idempotent at the end.
+	if _, err := fr.NextSection(); err != io.EOF {
+		t.Fatalf("repeated NextSection = %v, want io.EOF", err)
+	}
+}
+
+// NextSection must skip any unread chunks of the open section, and the
+// trailer must still verify.
+func TestFragmentSkipSection(t *testing.T) {
+	data := writeTestFragment(t)
+	fr, err := NewFragmentReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, err := fr.NextSection(); err != nil || name != "records" {
+		t.Fatalf("section 1 = %q, %v", name, err)
+	}
+	if name, err := fr.NextSection(); err != nil || name != "meta" {
+		t.Fatalf("section 2 after skip = %q, %v", name, err)
+	}
+	if _, err := fr.NextSection(); err != io.EOF {
+		t.Fatalf("final NextSection after skips = %v, want io.EOF", err)
+	}
+}
+
+// Deterministic output: two writes of the same logical fragment are
+// byte-identical (keys are sorted, nothing nondeterministic is added).
+func TestFragmentDeterministic(t *testing.T) {
+	a := writeTestFragment(t)
+	b := writeTestFragment(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical fragments encode to different bytes")
+	}
+}
+
+// Every proper prefix of a valid fragment must fail decoding — the
+// trailer makes truncation detectable at any cut point.
+func TestFragmentTruncation(t *testing.T) {
+	data := writeTestFragment(t)
+	for cut := 0; cut < len(data); cut++ {
+		err := consumeFragment(data[:cut])
+		if err == nil {
+			t.Fatalf("fragment truncated to %d/%d bytes decoded cleanly", cut, len(data))
+		}
+	}
+	if err := consumeFragment(data); err != nil {
+		t.Fatalf("full fragment failed: %v", err)
+	}
+}
+
+// consumeFragment decodes an entire fragment, returning the first error.
+func consumeFragment(data []byte) error {
+	fr, err := NewFragmentReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		_, err := fr.NextSection()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for {
+			if _, err := fr.NextChunk(); err == io.EOF {
+				break
+			} else if err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func TestFragmentRejectsBadMagicAndVersion(t *testing.T) {
+	data := writeTestFragment(t)
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := NewFragmentReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[4] = 99 // version uvarint
+	if _, err := NewFragmentReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestFragmentWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFragmentWriter(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Chunk([]byte("x")); err == nil {
+		t.Fatal("chunk outside a section accepted")
+	}
+	if err := fw.Section(""); err == nil {
+		t.Fatal("empty section name accepted")
+	}
+	if err := fw.Section("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Section("late"); err == nil {
+		t.Fatal("section after Finish accepted")
+	}
+	if err := fw.Chunk([]byte("late")); err == nil {
+		t.Fatal("chunk after Finish accepted")
+	}
+}

@@ -227,16 +227,31 @@ func (w *ShardWriter) Close() error {
 	}
 	// All streams are complete; move them into place, then publish the
 	// manifest last, so a manifest on disk always describes complete
-	// shards.
+	// shards. A failure anywhere past the first rename must also undo
+	// the renames already done: without a manifest the final files are
+	// unreachable, and discard only knows about temp paths.
+	var renamed []string
+	undo := func() {
+		w.discard()
+		for _, p := range renamed {
+			os.Remove(p)
+		}
+	}
 	for _, sf := range w.shards {
-		if err := os.Rename(sf.tmp, filepath.Join(w.dir, sf.final)); err != nil {
-			w.discard()
+		final := filepath.Join(w.dir, sf.final)
+		if err := os.Rename(sf.tmp, final); err != nil {
+			undo()
 			return fmt.Errorf("trace: shard writer: %w", err)
 		}
 		sf.tmp = ""
+		renamed = append(renamed, final)
 	}
 	m.POIChecksum = w.poiChecksum
-	return writeManifest(w.ManifestPath(), &m)
+	if err := writeManifest(w.ManifestPath(), &m); err != nil {
+		undo()
+		return err
+	}
+	return nil
 }
 
 // discard closes and removes any temporary shard files (error path).

@@ -178,6 +178,77 @@ func TestShardWriterRejectsCrossShardDuplicates(t *testing.T) {
 	}
 }
 
+// leftovers lists the regular files left in dir (obstruction
+// directories planted by the test are skipped).
+func leftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestShardWriterCloseFailureLeavesNoOrphans forces Close to fail at
+// two points past the first rename — a later shard's rename and the
+// manifest publish — by planting a directory at the target path
+// (rename over a directory fails). In both cases every already-renamed
+// final file must be removed along with the temps: without a manifest
+// those finals are unreachable orphans that poison directory-based
+// OpenShardSet and leak disk forever.
+func TestShardWriterCloseFailureLeavesNoOrphans(t *testing.T) {
+	ds := genShardDS(t, 0.02, 5)
+	write := func(t *testing.T, dir string) *trace.ShardWriter {
+		t.Helper()
+		w, err := trace.NewShardWriter(dir, "orphan", ds.POIs, trace.ShardOptions{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range ds.Users {
+			if err := w.WriteUser(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w
+	}
+
+	t.Run("mid-rename", func(t *testing.T) {
+		dir := t.TempDir()
+		w := write(t, dir)
+		// Shard 0 renames fine; shard 1's target is obstructed.
+		if err := os.Mkdir(filepath.Join(dir, "orphan-0001.bin"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err == nil {
+			t.Fatal("Close succeeded with an obstructed shard path")
+		}
+		if left := leftovers(t, dir); len(left) != 0 {
+			t.Fatalf("failed Close left orphans: %v", left)
+		}
+	})
+
+	t.Run("manifest-write", func(t *testing.T) {
+		dir := t.TempDir()
+		w := write(t, dir)
+		// Every shard renames fine; the manifest publish is obstructed.
+		if err := os.Mkdir(filepath.Join(dir, "orphan"+trace.ManifestSuffix), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err == nil {
+			t.Fatal("Close succeeded with an obstructed manifest path")
+		}
+		if left := leftovers(t, dir); len(left) != 0 {
+			t.Fatalf("failed Close left orphans: %v", left)
+		}
+	})
+}
+
 // TestOpenShardSetFromDirectory resolves the manifest from a directory
 // and rejects ambiguous or manifest-less directories.
 func TestOpenShardSetFromDirectory(t *testing.T) {

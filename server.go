@@ -64,6 +64,19 @@ type ServerOptions struct {
 	// first; the outcomes/analysis endpoints answer 404 for a pruned
 	// log). <= 0 means unbounded.
 	MaxOutcomeLogs int
+	// Checkpoints gives every shard-set validation a per-dataset
+	// checkpoint directory under "checkpoints" in the spool (namespaced
+	// by the parameter fingerprint, like the cache and outcome tiers).
+	// A job interrupted by a crash or server restart then resumes from
+	// its completed shards on retry instead of revalidating everything;
+	// the checkpoints of a successfully completed job are removed. The
+	// Stream.CheckpointDir field is ignored (the service owns per-job
+	// checkpoint paths).
+	Checkpoints bool
+	// MaxCheckpointRuns caps retained checkpoint run directories
+	// (oldest pruned first after a failed validation; pruning costs
+	// only that run's partial progress). <= 0 means unbounded.
+	MaxCheckpointRuns int
 	// Logf, when non-nil, receives one line per service lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -88,12 +101,18 @@ func NewServer(opts ServerOptions) (*serve.Server, error) {
 		MaxDiskCacheEntries: opts.MaxDiskCache,
 		RetainOutcomes:      opts.Outcomes,
 		MaxOutcomeLogs:      opts.MaxOutcomeLogs,
+		RetainCheckpoints:   opts.Checkpoints,
+		MaxCheckpointRuns:   opts.MaxCheckpointRuns,
 		PollInterval:        opts.PollInterval,
 		Logf:                opts.Logf,
-		Validate: func(path string, workers int, outcomeLog string) (*StreamResult, error) {
+		Validate: func(path string, workers int, outcomeLog, checkpointDir string) (*StreamResult, error) {
 			o := opts.Stream
 			o.Workers = workers
 			o.OutcomeLog = outcomeLog
+			o.CheckpointDir = checkpointDir
+			if o.Logf == nil {
+				o.Logf = opts.Logf // surface checkpoint hits in the service log
+			}
 			return ValidateFileOpts(path, o)
 		},
 	}
