@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"geosocial"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+)
+
+// genBinary writes a tiny binary dataset (on the codec's E7 coordinate
+// grid, so split/recombine comparisons are exact) and returns its path.
+func genBinary(t *testing.T) string {
+	t.Helper()
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.02), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "primary.bin.gz")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSplitApplyRoundTrip is the tool's core contract: cutting a corpus
+// into base + delta and appending the delta back reproduces the
+// original corpus's validation exactly.
+func TestSplitApplyRoundTrip(t *testing.T) {
+	src := genBinary(t)
+	out := filepath.Join(t.TempDir(), "corpus")
+
+	var buf bytes.Buffer
+	if err := run([]string{"-split", src, "-out", out, "-shards", "2", "-cut-days", "3"}, &buf); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if !strings.Contains(buf.String(), "delta users") {
+		t.Fatalf("split report: %q", buf.String())
+	}
+	manifest := filepath.Join(out, "primary.manifest.json")
+	delta := filepath.Join(out, "delta.gsb")
+	for _, p := range []string{manifest, delta} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("split output missing: %v", err)
+		}
+	}
+
+	base, err := geosocial.ValidateFileOpts(manifest, geosocial.StreamOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := run([]string{"-in", manifest, "-delta", delta}, &buf); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !strings.Contains(buf.String(), "generation 1") {
+		t.Fatalf("apply report: %q", buf.String())
+	}
+
+	full, err := geosocial.ValidateFileOpts(src, geosocial.StreamOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := geosocial.ValidateFileOpts(manifest, geosocial.StreamOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Users != full.Users {
+		t.Fatalf("users: grown=%d full=%d", grown.Users, full.Users)
+	}
+	if base.Partition.Checkins >= full.Partition.Checkins {
+		t.Fatalf("cut removed nothing: base has %d checkins, full %d",
+			base.Partition.Checkins, full.Partition.Checkins)
+	}
+	if grown.Partition != full.Partition {
+		t.Errorf("partition: grown=%+v full=%+v", grown.Partition, full.Partition)
+	}
+	if !reflect.DeepEqual(grown.Taxonomy, full.Taxonomy) {
+		t.Errorf("taxonomy: grown=%v full=%v", grown.Taxonomy, full.Taxonomy)
+	}
+	if !reflect.DeepEqual(grown.Truth, full.Truth) {
+		t.Errorf("truth: grown=%+v full=%+v", grown.Truth, full.Truth)
+	}
+}
+
+// TestSplitRefusesDegenerateCut: a cut before the whole corpus would
+// leave an empty base; the tool must refuse rather than write one.
+func TestSplitRefusesDegenerateCut(t *testing.T) {
+	src := genBinary(t)
+	out := t.TempDir()
+	err := run([]string{"-split", src, "-out", out, "-cut-days", "100000"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "base users") {
+		t.Fatalf("degenerate cut: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(out, "primary.manifest.json")); statErr == nil {
+		t.Fatal("degenerate cut wrote a manifest")
+	}
+}
+
+// TestFlagValidation pins the mode selection errors.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{nil, "one of -split or -in"},
+		{[]string{"-split", "a", "-in", "b"}, "mutually exclusive"},
+		{[]string{"-split", "a"}, "requires -out"},
+		{[]string{"-in", "a"}, "requires -delta"},
+	} {
+		err := run(tc.args, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}

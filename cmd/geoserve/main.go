@@ -15,6 +15,7 @@
 // Endpoints (full reference with curl examples in docs/API.md):
 //
 //	POST /v1/datasets                 upload a dataset (?wait=1 blocks)
+//	POST /v1/datasets/{id}/append     append a GSB1 delta stream to a shard set
 //	GET  /v1/datasets                 list datasets
 //	GET  /v1/datasets/{id}            status + full StreamResult JSON
 //	GET  /v1/datasets/{id}/partition  Figure 1 partition
@@ -39,7 +40,12 @@
 // under "checkpoints" in the spool (same parameter-fingerprint
 // namespacing), so a job interrupted by a crash or restart resumes
 // from its completed shards when retried; -checkpoints-max bounds the
-// retained run directories. The server shuts down gracefully on
+// retained run directories and -checkpoint-stale tunes how old crash
+// debris must be before it is swept. Shard sets accept live appends:
+// POST /v1/datasets/{id}/append grows the corpus by a GSB1 delta
+// stream and revalidates it incrementally — only the appended users'
+// work is redone, and the new result is byte-identical to a cold
+// validation of the grown corpus. The server shuts down gracefully on
 // SIGINT / SIGTERM: in-flight validations and HTTP requests drain
 // before exit.
 package main
@@ -96,6 +102,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		diskCacheMax = fs.Int("disk-cache-max", 0, "max persisted result/analysis entries, oldest pruned first (0 = unbounded)")
 		ckpts        = fs.Bool("checkpoints", false, "checkpoint shard-set validations under the spool so interrupted jobs resume")
 		ckptsMax     = fs.Int("checkpoints-max", 8, "max retained checkpoint run directories, oldest pruned first (0 = unbounded)")
+		ckptsStale   = fs.Duration("checkpoint-stale", 0, "age after which a crashed run's checkpoint temp files are swept (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -118,6 +125,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxDiskCache:      *diskCacheMax,
 		Checkpoints:       *ckpts,
 		MaxCheckpointRuns: *ckptsMax,
+		CheckpointStale:   *ckptsStale,
 		Stream:            geosocial.StreamOptions{Workers: *workers},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)

@@ -14,6 +14,7 @@
 //	geovalidate -in primary.bin.gz -json          # machine-readable StreamResult
 //	geovalidate -in primary.bin.gz -outcomes out.gso   # + columnar outcome log
 //	geovalidate -in primary.manifest.json -checkpoint ./ckpt   # resumable run
+//	geovalidate -in grown.manifest.json -update-from prev.json -prev-outcomes prev.gso
 //
 // The dataset encoding (JSON or binary, gzip or not) is detected from
 // magic bytes, not the file name. Binary datasets are validated one
@@ -42,9 +43,20 @@
 // format). Checkpoints are keyed by the manifest, the shard bytes, and
 // the validation parameters, so a stale or mismatched checkpoint is
 // never reused. The flag is ignored for single-file datasets.
+// -checkpoint-stale tunes how old an interrupted run's leftover
+// temporary files must be before a resuming run deletes them.
+//
+// With -update-from (and its required companion -prev-outcomes) the
+// run is incremental: -in must name a manifest grown by appended
+// delta generations (geoappend), -update-from the -json document and
+// -prev-outcomes the outcome log of a validation of an earlier
+// generation. Only users the appended deltas touched are revalidated;
+// the report, the -json document, and the -outcomes log are
+// byte-identical to a full cold run on the same manifest.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -86,6 +98,9 @@ func run(args []string, stdout io.Writer) error {
 		asJSON   = fs.Bool("json", false, "emit the full StreamResult as JSON instead of the text report")
 		outcomes = fs.String("outcomes", "", "write a GSO1 outcome log here for geoanalyze (gzip when ending in .gz)")
 		ckpt     = fs.String("checkpoint", "", "checkpoint directory for resumable shard-set validation (completed shards are skipped on rerun)")
+		ckStale  = fs.Duration("checkpoint-stale", 0, "age after which a crashed run's checkpoint temp files are swept (0 = default)")
+		updFrom  = fs.String("update-from", "", "previous run's -json result document; revalidate only users the appended generations touched")
+		prevLog  = fs.String("prev-outcomes", "", "previous run's outcome log, required with -update-from (supplies the superseded per-user records)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -97,10 +112,11 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("missing -in dataset file (generate one with geogen)")
 	}
 	opts := geosocial.StreamOptions{
-		Params:        core.Params{Alpha: *alpha, Beta: *beta},
-		Workers:       *workers,
-		OutcomeLog:    *outcomes,
-		CheckpointDir: *ckpt,
+		Params:          core.Params{Alpha: *alpha, Beta: *beta},
+		Workers:         *workers,
+		OutcomeLog:      *outcomes,
+		CheckpointDir:   *ckpt,
+		CheckpointStale: *ckStale,
 	}
 	if *ckpt != "" {
 		// Checkpoint lifecycle lines (hits, writes, unreadable
@@ -108,7 +124,23 @@ func run(args []string, stdout io.Writer) error {
 		// the -json document on stdout.
 		opts.Logf = log.Printf
 	}
-	res, err := geosocial.ValidateFileOpts(*in, opts)
+	var res *geosocial.StreamResult
+	var err error
+	if *updFrom != "" {
+		if *prevLog == "" {
+			return fmt.Errorf("-update-from requires -prev-outcomes (the previous run's outcome log)")
+		}
+		prev, perr := loadPrevResult(*updFrom)
+		if perr != nil {
+			return perr
+		}
+		res, err = geosocial.UpdateValidation(*in, prev, *prevLog, opts)
+	} else {
+		if *prevLog != "" {
+			return fmt.Errorf("-prev-outcomes is only meaningful with -update-from")
+		}
+		res, err = geosocial.ValidateFileOpts(*in, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -144,6 +176,22 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "outcome log: %s (analyze with geoanalyze)\n", *outcomes)
 	}
 	return nil
+}
+
+// loadPrevResult decodes a previous run's -json document for
+// -update-from. The document must be the unmodified StreamResult JSON
+// (in particular with its truth block intact) or the updated result
+// would diverge from a cold revalidation.
+func loadPrevResult(path string) (*geosocial.StreamResult, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev geosocial.StreamResult
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &prev, nil
 }
 
 func maxf(a, b float64) float64 {

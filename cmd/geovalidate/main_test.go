@@ -313,3 +313,83 @@ func mustAtoi(t *testing.T, s string) int {
 	}
 	return n
 }
+
+// TestRunUpdateFrom drives the incremental CLI loop: validate a shard
+// set, append a generation, and revalidate with -update-from — the
+// -json document and the outcome log must be byte-identical to a cold
+// full run on the grown manifest.
+func TestRunUpdateFrom(t *testing.T) {
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.02), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	manifest, err := ds.SaveShards(dir, trace.ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	work := t.TempDir()
+	validate := func(args ...string) []byte {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(append([]string{"-in", manifest, "-json"}, args...), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	gen0JSON := filepath.Join(work, "gen0.json")
+	gen0Log := filepath.Join(work, "gen0.gso")
+	if err := os.WriteFile(gen0JSON, validate("-outcomes", gen0Log), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the set by one brand-new user (the engine-level equivalence
+	// across richer deltas is pinned in the root package's tests).
+	maxID := 0
+	for _, u := range ds.Users {
+		if u.ID > maxID {
+			maxID = u.ID
+		}
+	}
+	aw, err := trace.OpenAppend(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.WriteUser(&trace.User{ID: maxID + 1, Days: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	coldLog := filepath.Join(work, "cold.gso")
+	cold := validate("-outcomes", coldLog, "-workers", "1")
+	updLog := filepath.Join(work, "upd.gso")
+	upd := validate("-outcomes", updLog, "-workers", "4",
+		"-update-from", gen0JSON, "-prev-outcomes", gen0Log)
+	if !bytes.Equal(upd, cold) {
+		t.Errorf("-update-from JSON differs from cold run:\n%s\nvs\n%s", upd, cold)
+	}
+	readBack := func(path string) []byte {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if !bytes.Equal(readBack(updLog), readBack(coldLog)) {
+		t.Error("-update-from outcome log differs from cold run's log")
+	}
+
+	// Flag pairing: each half of the update pair alone is an error.
+	if err := run([]string{"-in", manifest, "-update-from", gen0JSON}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-prev-outcomes") {
+		t.Errorf("-update-from alone: %v", err)
+	}
+	if err := run([]string{"-in", manifest, "-prev-outcomes", gen0Log}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-update-from") {
+		t.Errorf("-prev-outcomes alone: %v", err)
+	}
+}

@@ -143,9 +143,22 @@ type StreamOptions struct {
 	// checkpoint; plain files and explicit path lists ignore the field.
 	// See docs/FORMAT.md for the fragment format and atomicity contract.
 	CheckpointDir string
+	// CheckpointStale overrides how old a crashed run's temporary
+	// checkpoint file must be before it is swept at open
+	// (checkpoint.DefaultStaleAfter — one hour — when zero). It affects
+	// only the sweep, never the checkpoint key or the parameter
+	// fingerprint, so changing it does not invalidate existing
+	// checkpoints.
+	CheckpointStale time.Duration
 	// Logf, when non-nil, receives one line per checkpoint event (shard
 	// skipped, checkpoint written, corrupt fragment recovered).
 	Logf func(format string, args ...any)
+
+	// validated, when non-nil, observes every user ID as its outcome is
+	// accumulated, serially on the collecting goroutine. Tests use it to
+	// assert which users a run actually validated (the incremental path
+	// must touch only appended users).
+	validated func(userID int)
 }
 
 // StreamResult is the bounded-memory analogue of ValidationResult: the
@@ -205,7 +218,7 @@ func ValidateFileOpts(path string, opts StreamOptions) (*StreamResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	res, err := validateSources(stream.Name, db, []trace.FrameSource{stream.Frames()}, []string{path}, opts, nil)
+	res, err := validateSources(stream.Name, db, []trace.FrameSource{stream.Frames()}, []string{path}, opts, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +269,7 @@ func ValidatePaths(paths []string, opts StreamOptions) (*StreamResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
-	res, err := validateSources(streams[0].Name, db, srcs, paths, opts, nil)
+	res, err := validateSources(streams[0].Name, db, srcs, paths, opts, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -264,13 +277,43 @@ func ValidatePaths(paths []string, opts StreamOptions) (*StreamResult, error) {
 	return res, nil
 }
 
+// genSet carries a generational shard set's fold state through
+// validateSources: the decoded delta content, the generation to stamp on
+// the result, and — per manifest shard — the expected number of
+// brand-new users (-1 for base shards, which are verified by their
+// reader's frame count instead).
+type genSet struct {
+	ds         *trace.DeltaSet
+	generation int
+	newUsers   []int
+}
+
 // validateShardSet validates a manifest-described sharded corpus.
+//
+// A generational set (manifest Generation > 0) validates by folding: the
+// delta shards are decoded up front into a DeltaSet (O(appended data)),
+// every base-shard source is wrapped so touched users decode with their
+// delta frames folded in, and users that exist only in delta shards are
+// validated in a post-pass attributed to their home delta shard. The
+// result is byte-identical to validating a from-scratch corpus of the
+// concatenated data, modulo the per-shard layout. Checkpointing is
+// skipped for generational sets: a delta changes every touched user's
+// fold, so per-shard fragments keyed on shard content alone would be
+// unsound.
 func validateShardSet(path string, opts StreamOptions) (*StreamResult, error) {
 	ss, err := trace.OpenShardSet(path)
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
 	k := len(ss.Manifest.Shards)
+	var gen *genSet
+	if ss.Manifest.Generation > 0 {
+		ds, err := trace.MergeSets(ss)
+		if err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		gen = &genSet{ds: ds, generation: ss.Manifest.Generation, newUsers: make([]int, k)}
+	}
 	readers := make([]*trace.ShardReader, k)
 	defer func() {
 		for _, r := range readers {
@@ -281,22 +324,47 @@ func validateShardSet(path string, opts StreamOptions) (*StreamResult, error) {
 	}()
 	srcs := make([]trace.FrameSource, k)
 	labels := make([]string, k)
+	var db *poi.DB
 	for i := 0; i < k; i++ {
+		labels[i] = ss.Manifest.Shards[i].File
+		if gen != nil && ss.Manifest.Shards[i].Delta {
+			// Delta shards are not streamed — their content is already in
+			// the DeltaSet — but they keep a stats slot for the new users
+			// attributed to them.
+			gen.newUsers[i] = ss.Manifest.Shards[i].NewUsers
+			continue
+		}
+		if gen != nil {
+			gen.newUsers[i] = -1
+		}
 		r, err := ss.OpenShard(i)
 		if err != nil {
 			return nil, fmt.Errorf("geosocial: %w", err)
 		}
-		readers[i], srcs[i], labels[i] = r, r, ss.Manifest.Shards[i].File
+		readers[i] = r
+		if gen != nil {
+			srcs[i] = gen.ds.FoldSource(r)
+		} else {
+			srcs[i] = r
+		}
+		if db == nil {
+			if db, err = poi.NewDB(r.POIs()); err != nil {
+				return nil, fmt.Errorf("geosocial: %w", err)
+			}
+		}
 	}
-	db, err := poi.NewDB(readers[0].POIs())
-	if err != nil {
-		return nil, fmt.Errorf("geosocial: %w", err)
+	if db == nil {
+		return nil, fmt.Errorf("geosocial: %s: shard set has no base shards", path)
 	}
-	ck, err := openCheckpoints(ss, labels, opts)
-	if err != nil {
-		return nil, err
+	var ck *ckptRun
+	if gen == nil {
+		if ck, err = openCheckpoints(ss, labels, opts); err != nil {
+			return nil, err
+		}
+	} else if opts.CheckpointDir != "" && opts.Logf != nil {
+		opts.Logf("geosocial: generational shard set (generation %d): checkpointing skipped", gen.generation)
 	}
-	res, err := validateSources(ss.Manifest.Name, db, srcs, labels, opts, ck)
+	res, err := validateSources(ss.Manifest.Name, db, srcs, labels, opts, ck, gen)
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +409,7 @@ func openCheckpoints(ss *trace.ShardSet, labels []string, opts StreamOptions) (*
 	if opts.OutcomeLog != "" {
 		tag += "+log"
 	}
-	store, err := checkpoint.Open(opts.CheckpointDir, checkpoint.ManifestChecksum(&ss.Manifest), tag)
+	store, err := checkpoint.OpenStale(opts.CheckpointDir, checkpoint.ManifestChecksum(&ss.Manifest), tag, opts.CheckpointStale)
 	if err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
 	}
@@ -413,7 +481,13 @@ func (c *ckptSource) NextFrame() (trace.Frame, error) {
 // at any point loses at most the shards still in flight. Checkpointed
 // and live shards contribute through the same commutative sums, which
 // is why a resumed result is byte-identical to an uninterrupted one.
-func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels []string, opts StreamOptions, ck *ckptRun) (*StreamResult, error) {
+//
+// When gen is non-nil the run folds a generational shard set: entries
+// of srcs left nil (the delta shards) are not streamed, and after the
+// merge the users that exist only in delta shards are folded, validated
+// on the same pool, and accumulated against their home delta shard's
+// stats slot. gen and ck are mutually exclusive.
+func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels []string, opts StreamOptions, ck *ckptRun, gen *genSet) (*StreamResult, error) {
 	v := &core.Validator{Params: opts.Params, VisitConfig: opts.VisitConfig}
 	clsParams := classify.DefaultParams()
 	res := &StreamResult{Name: name, Taxonomy: make(map[string]int, classify.NumKinds)}
@@ -488,11 +562,13 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 	}
 
 	// The merged run streams only the live sources; live[j] maps the
-	// merge's source index back to the original shard index.
+	// merge's source index back to the original shard index. A nil
+	// source is a generational set's delta shard: its content folds in
+	// through the base-shard sources and the post-merge new-user pass.
 	var live []int
 	var next []func() (trace.Frame, error)
 	for i := range srcs {
-		if ck != nil && ck.metas[i] != nil {
+		if srcs[i] == nil || (ck != nil && ck.metas[i] != nil) {
 			continue
 		}
 		live = append(live, i)
@@ -544,60 +620,76 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 		rec      *outcome.Record // outcome-log record, nil unless logging
 		recBytes []byte          // its encoding, nil unless checkpointing a logging run
 	}
+	// process runs the CPU-heavy per-user stages (validation,
+	// classification, record distillation) on the worker pool; account
+	// accumulates one user's outcome into a shard's stats slot on the
+	// collecting goroutine. Both the merged stream and the generational
+	// new-user pass go through the same pair, which is what makes the
+	// two paths' aggregates interchangeable.
+	process := func(u *trace.User) (outcomeCls, error) {
+		o, err := v.ValidateUser(u, db)
+		if err != nil {
+			return outcomeCls{}, err
+		}
+		cl, err := classify.ClassifyUser(o, clsParams)
+		if err != nil {
+			return outcomeCls{}, fmt.Errorf("classify: user %d: %w", o.User.ID, err)
+		}
+		oc := outcomeCls{out: o, cls: cl}
+		if logw != nil {
+			// Record distillation (feature extraction, Levy sampling)
+			// is CPU work, so it runs here on the pool; only the spool
+			// write happens on the collecting goroutine.
+			if oc.rec, err = outcome.NewRecord(o, cl); err != nil {
+				return outcomeCls{}, err
+			}
+			if ck != nil {
+				if oc.recBytes, err = outcome.EncodeRecord(oc.rec); err != nil {
+					return outcomeCls{}, err
+				}
+			}
+		}
+		return oc, nil
+	}
+	account := func(shard int, oc outcomeCls) error {
+		id := oc.out.User.ID
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("duplicate user ID %d (%s and %s)", id, labels[prev], labels[shard])
+		}
+		seen[id] = shard
+		stats[shard].Users++
+		stats[shard].Partition.Add(oc.out)
+		for _, k := range oc.cls.Kinds {
+			taxs[shard][k.String()]++
+		}
+		truths[shard].Add(oc.out)
+		if opts.validated != nil {
+			opts.validated(id)
+		}
+		if logw != nil {
+			return logw.Write(oc.rec)
+		}
+		return nil
+	}
 	err := par.MergeStreams(opts.Workers, next,
 		func(j, _ int, fr trace.Frame) (outcomeCls, error) {
 			u, err := srcs[live[j]].DecodeFrame(fr)
 			if err != nil {
 				return outcomeCls{}, err
 			}
-			o, err := v.ValidateUser(u, db)
-			if err != nil {
-				return outcomeCls{}, err
-			}
-			cl, err := classify.ClassifyUser(o, clsParams)
-			if err != nil {
-				return outcomeCls{}, fmt.Errorf("classify: user %d: %w", o.User.ID, err)
-			}
-			oc := outcomeCls{out: o, cls: cl}
-			if logw != nil {
-				// Record distillation (feature extraction, Levy sampling)
-				// is CPU work, so it runs here on the pool; only the spool
-				// write happens on the collecting goroutine.
-				if oc.rec, err = outcome.NewRecord(o, cl); err != nil {
-					return outcomeCls{}, err
-				}
-				if ck != nil {
-					if oc.recBytes, err = outcome.EncodeRecord(oc.rec); err != nil {
-						return outcomeCls{}, err
-					}
-				}
-			}
-			return oc, nil
+			return process(u)
 		},
 		func(j, _ int, oc outcomeCls) error {
 			shard := live[j]
-			id := oc.out.User.ID
-			if prev, dup := seen[id]; dup {
-				return fmt.Errorf("duplicate user ID %d (%s and %s)", id, labels[prev], labels[shard])
+			if err := account(shard, oc); err != nil {
+				return err
 			}
-			seen[id] = shard
-			stats[shard].Users++
-			stats[shard].Partition.Add(oc.out)
-			for _, k := range oc.cls.Kinds {
-				taxs[shard][k.String()]++
-			}
-			truths[shard].Add(oc.out)
 			if ck != nil {
-				ids[shard] = append(ids[shard], id)
+				ids[shard] = append(ids[shard], oc.out.User.ID)
 				if oc.recBytes != nil {
 					if err := frags[shard].AddRecord(oc.recBytes); err != nil {
 						return err
 					}
-				}
-			}
-			if logw != nil {
-				if err := logw.Write(oc.rec); err != nil {
-					return err
 				}
 			}
 			return commitReady()
@@ -607,6 +699,41 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 	}
 	if err := commitReady(); err != nil {
 		return nil, fmt.Errorf("geosocial: %w", err)
+	}
+	if gen != nil {
+		// Users that exist only in delta shards were never seen by the
+		// base-shard streams: fold and validate them now, in ascending ID
+		// order, attributed to the delta shard holding their first frame.
+		var newIDs []int
+		for _, id := range gen.ds.IDs() {
+			if _, ok := seen[id]; !ok {
+				newIDs = append(newIDs, id)
+			}
+		}
+		ocs, err := par.Map(opts.Workers, len(newIDs), func(i int) (outcomeCls, error) {
+			u, err := gen.ds.FoldNew(newIDs[i])
+			if err != nil {
+				return outcomeCls{}, err
+			}
+			return process(u)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		for i, oc := range ocs {
+			if err := account(gen.ds.Home(newIDs[i]), oc); err != nil {
+				return nil, fmt.Errorf("geosocial: %w", err)
+			}
+		}
+		// Cross-check the manifest's per-delta-shard accounting: a delta
+		// shard's stats slot holds exactly its brand-new users.
+		for i, want := range gen.newUsers {
+			if want >= 0 && stats[i].Users != want {
+				return nil, fmt.Errorf("geosocial: delta shard %s introduced %d new users, manifest says %d",
+					labels[i], stats[i].Users, want)
+			}
+		}
+		res.Generation = gen.generation
 	}
 	if logw != nil {
 		if err := logw.Close(); err != nil {

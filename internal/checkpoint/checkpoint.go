@@ -44,12 +44,13 @@ import (
 const payloadVersion = "1"
 
 // tmpPrefix marks in-progress fragment files. Open removes leftovers
-// once they are older than staleAfter (age-based, so a concurrent run's
-// live temp in the same directory is never swept).
+// once they are older than the stale threshold (age-based, so a
+// concurrent run's live temp in the same directory is never swept).
 const tmpPrefix = ".ckpt-tmp-"
 
-// staleAfter is how old a temp file must be before Open sweeps it.
-const staleAfter = time.Hour
+// DefaultStaleAfter is how old a temp file must be before Open sweeps
+// it, absent an explicit threshold.
+const DefaultStaleAfter = time.Hour
 
 // Fragment section names, in file order. Records stream to disk while
 // the shard validates, so the aggregate sections land after them.
@@ -88,9 +89,22 @@ type Store struct {
 	paramsTag   string
 }
 
-// Open creates the checkpoint directory if missing and sweeps stale
-// temp files left by crashed runs.
+// Open creates the checkpoint directory if missing and sweeps temp
+// files left by crashed runs once they are older than
+// DefaultStaleAfter.
 func Open(dir, manifestSum, paramsTag string) (*Store, error) {
+	return OpenStale(dir, manifestSum, paramsTag, DefaultStaleAfter)
+}
+
+// OpenStale is Open with a caller-chosen stale-temp sweep threshold; a
+// non-positive threshold selects DefaultStaleAfter. A shorter threshold
+// reclaims crashed runs' space sooner at the cost of sweeping a
+// long-idle concurrent run's live temp; the sweep never touches
+// published fragments either way.
+func OpenStale(dir, manifestSum, paramsTag string, staleAfter time.Duration) (*Store, error) {
+	if staleAfter <= 0 {
+		staleAfter = DefaultStaleAfter
+	}
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
 	}

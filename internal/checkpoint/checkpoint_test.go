@@ -194,7 +194,7 @@ func TestOpenSweepsStaleTemps(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	old := time.Now().Add(-2 * staleAfter)
+	old := time.Now().Add(-2 * DefaultStaleAfter)
 	if err := os.Chtimes(stale, old, old); err != nil {
 		t.Fatal(err)
 	}
@@ -204,6 +204,32 @@ func TestOpenSweepsStaleTemps(t *testing.T) {
 	}
 	if _, err := os.Stat(fresh); err != nil {
 		t.Fatal("fresh temp swept by Open")
+	}
+}
+
+// OpenStale honours a caller-chosen sweep threshold; non-positive
+// selects the default.
+func TestOpenStaleCustomThreshold(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, tmpPrefix+"recent")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-10 * time.Minute)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStale(dir, "sha256:m", "p", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatal("10-minute-old temp swept under the default threshold")
+	}
+	if _, err := OpenStale(dir, "sha256:m", "p", 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("temp older than the custom threshold survived")
 	}
 }
 

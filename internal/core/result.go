@@ -23,6 +23,11 @@ type StreamResult struct {
 	Format trace.Format `json:"format"`
 	// Users is the number of users validated.
 	Users int `json:"users"`
+	// Generation is the manifest generation of a generational shard set
+	// (omitted for generation 0 and plain files, keeping pre-append
+	// encodings byte-identical). Incremental updates and cold runs over
+	// the same appended corpus report the same generation.
+	Generation int `json:"generation,omitempty"`
 	// Partition is the Figure 1 Venn split.
 	Partition Partition `json:"partition"`
 	// Taxonomy holds the §5.1 per-kind checkin counts, keyed by

@@ -38,6 +38,19 @@ func (p *Partition) Merge(q Partition) {
 	p.Missing += q.Missing
 }
 
+// Subtract removes q's counts from p — the inverse of Merge. It is the
+// subtract half of the incremental update's subtract-then-add: removing
+// a user's old contribution and adding its re-validated one leaves
+// exactly the partition a cold run over the updated corpus computes,
+// because the counts are plain commutative sums.
+func (p *Partition) Subtract(q Partition) {
+	p.Checkins -= q.Checkins
+	p.Visits -= q.Visits
+	p.Honest -= q.Honest
+	p.Extraneous -= q.Extraneous
+	p.Missing -= q.Missing
+}
+
 // ExtraneousRatio returns extraneous checkins as a fraction of all
 // checkins (the paper reports 75 %).
 func (p Partition) ExtraneousRatio() float64 {
@@ -138,6 +151,22 @@ func (p *Partition) Add(o UserOutcome) {
 func (v *Validator) ValidateUser(u *trace.User, db *poi.DB) (UserOutcome, error) {
 	params, vcfg := v.resolve()
 	return validateUser(u, db, params, vcfg)
+}
+
+// UpdateUser re-runs the §4 pipeline for one user whose trace changed —
+// an appended day folded into its history — and returns the outcome
+// together with the user's partition contribution, ready for the
+// subtract-then-add update of dataset aggregates: subtract the user's
+// previous contribution, add the returned one, and the global partition
+// matches a cold run over the updated corpus in O(touched users).
+func (v *Validator) UpdateUser(u *trace.User, db *poi.DB) (UserOutcome, Partition, error) {
+	o, err := v.ValidateUser(u, db)
+	if err != nil {
+		return UserOutcome{}, Partition{}, err
+	}
+	var p Partition
+	p.Add(o)
+	return o, p, nil
 }
 
 // ValidateDataset runs visit detection and matching for every user and
@@ -347,6 +376,19 @@ func (a *TruthAccum) AddCounts(c TruthCounts) {
 	a.matchedHonest += c.MatchedHonest
 	a.matchedTotal += c.MatchedTotal
 	a.honestTotal += c.HonestTotal
+}
+
+// SubtractCounts removes a snapshot's counts from the accumulator — the
+// inverse of AddCounts. Together they give truth scoring the same
+// subtract-then-add incremental shape as Partition: drop a superseded
+// user's labeled checkins, add the re-validated ones, and the final
+// Score is exactly what a cold run over the updated corpus computes.
+func (a *TruthAccum) SubtractCounts(c TruthCounts) {
+	a.labeled -= c.Labeled
+	a.agree -= c.Agree
+	a.matchedHonest -= c.MatchedHonest
+	a.matchedTotal -= c.MatchedTotal
+	a.honestTotal -= c.HonestTotal
 }
 
 // Merge adds b's counts into a. Like Partition.Merge it is associative

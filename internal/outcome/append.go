@@ -1,0 +1,66 @@
+package outcome
+
+import (
+	"fmt"
+)
+
+// Append rewrites the log at src into dst with the given records folded
+// in: a source record whose user also appears in updates is superseded
+// (dropped in favour of the update), every other source record is
+// carried over unchanged, and updates for users absent from the source
+// are appended as new users. The destination is built through the
+// ordinary Writer, so it is compacted to canonical form — records
+// strictly increasing by user ID, one record per user, no tombstones —
+// and its bytes are exactly what a cold validation of the updated
+// corpus writes, because carried-over records are byte-for-byte the
+// same deterministic encodings and the Writer re-sequences everything
+// at Close.
+//
+// observe, which may be nil, sees every source record in log order
+// together with whether it was superseded — the hook the incremental
+// updater uses to subtract superseded contributions (and keep truth
+// counts) in the same single pass that compacts the log. src and dst
+// may name the same file: the source is fully read before the Writer
+// publishes over it.
+func Append(src, dst string, updates []*Record, observe func(old *Record, superseded bool) error) error {
+	superseding := make(map[int]bool, len(updates))
+	for _, rec := range updates {
+		if superseding[rec.UserID] {
+			return fmt.Errorf("outcome: append: duplicate update for user %d", rec.UserID)
+		}
+		superseding[rec.UserID] = true
+	}
+
+	lf, err := Open(src)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+
+	w, err := Create(dst, lf.Name())
+	if err != nil {
+		return err
+	}
+	defer w.Discard()
+
+	if err := each(lf, func(rec *Record) error {
+		superseded := superseding[rec.UserID]
+		if observe != nil {
+			if err := observe(rec, superseded); err != nil {
+				return err
+			}
+		}
+		if superseded {
+			return nil
+		}
+		return w.Write(rec)
+	}); err != nil {
+		return err
+	}
+	for _, rec := range updates {
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}

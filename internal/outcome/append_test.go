@@ -1,0 +1,130 @@
+package outcome
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// recWithID clones the fuzz seed record under a new user ID.
+func recWithID(id int) *Record {
+	r := seedRecord()
+	r.UserID = id
+	return r
+}
+
+// writeLogFile writes a cold log of the given records.
+func writeLogFile(t *testing.T, path string, recs ...*Record) {
+	t.Helper()
+	w, err := Create(path, "appendtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAllRecords(t *testing.T, path string) []*Record {
+	t.Helper()
+	var recs []*Record
+	if err := Scan(path, func(r *Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAppendSupersedesAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.gso")
+	writeLogFile(t, src, recWithID(1), recWithID(3), recWithID(5))
+
+	updated := recWithID(3)
+	updated.Pauses = []float64{1} // the superseding version differs
+	fresh := recWithID(4)
+
+	var seen []int
+	var superseded []int
+	dst := filepath.Join(dir, "dst.gso")
+	err := Append(src, dst, []*Record{updated, fresh}, func(old *Record, sup bool) error {
+		seen = append(seen, old.UserID)
+		if sup {
+			superseded = append(superseded, old.UserID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, []int{1, 3, 5}) {
+		t.Fatalf("observe saw %v, want [1 3 5]", seen)
+	}
+	if !reflect.DeepEqual(superseded, []int{3}) {
+		t.Fatalf("superseded %v, want [3]", superseded)
+	}
+
+	recs := readAllRecords(t, dst)
+	ids := make([]int, len(recs))
+	for i, r := range recs {
+		ids[i] = r.UserID
+	}
+	if !reflect.DeepEqual(ids, []int{1, 3, 4, 5}) {
+		t.Fatalf("users %v, want [1 3 4 5]", ids)
+	}
+	if !reflect.DeepEqual(recs[1], updated) {
+		t.Fatal("superseded record not replaced by the update")
+	}
+
+	// The compacted log must be byte-identical to a cold log of the
+	// same final records — no tombstones, no ordering residue.
+	cold := filepath.Join(dir, "cold.gso")
+	writeLogFile(t, cold, recWithID(1), updated, fresh, recWithID(5))
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("appended log differs from cold log of the same records")
+	}
+}
+
+func TestAppendInPlace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.gso")
+	writeLogFile(t, path, recWithID(1), recWithID(2))
+
+	updated := recWithID(2)
+	updated.Pauses = []float64{2}
+	if err := Append(path, path, []*Record{updated}, nil); err != nil {
+		t.Fatal(err)
+	}
+	recs := readAllRecords(t, path)
+	if len(recs) != 2 || !reflect.DeepEqual(recs[1], updated) {
+		t.Fatalf("in-place append produced %d records", len(recs))
+	}
+}
+
+func TestAppendRejectsDuplicateUpdates(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.gso")
+	writeLogFile(t, src, recWithID(1))
+	err := Append(src, filepath.Join(dir, "dst.gso"),
+		[]*Record{recWithID(2), recWithID(2)}, nil)
+	if err == nil {
+		t.Fatal("duplicate updates accepted")
+	}
+}

@@ -1,0 +1,328 @@
+package serve
+
+// Tests for the append endpoint and the incremental-update plumbing:
+// which validation path runs for an appended dataset, how the new job
+// relates to the old one, and how the HTTP surface exposes both. The
+// byte-identity of incremental and full validation is the engine's
+// contract, pinned end-to-end in the root package's tests; here
+// Validate and Update are injected fakes so the scheduling itself is
+// observable.
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"geosocial/internal/core"
+	"geosocial/internal/rng"
+	"geosocial/internal/synth"
+	"geosocial/internal/trace"
+)
+
+// spoolShardSet generates a small corpus and saves it as a 2-shard set
+// in the server's spool, returning the dataset and its manifest path.
+func spoolShardSet(t *testing.T, s *Server) (*trace.Dataset, string) {
+	t.Helper()
+	ds, err := synth.Generate(synth.PrimaryConfig().Scale(0.02), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := ds.SaveShards(s.cfg.SpoolDir, trace.ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, manifest
+}
+
+// deltaStream encodes users as a GSB1 delta stream for ds — the append
+// endpoint's wire format.
+func deltaStream(t *testing.T, ds *trace.Dataset, users ...*trace.User) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := trace.NewStreamWriter(&buf, ds.Name, ds.POIs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		if err := sw.WriteUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// freshUser builds a brand-new (empty-trace) user with an ID beyond
+// every existing one.
+func freshUser(ds *trace.Dataset) *trace.User {
+	maxID := 0
+	for _, u := range ds.Users {
+		if u.ID > maxID {
+			maxID = u.ID
+		}
+	}
+	return &trace.User{ID: maxID + 1, Days: 7}
+}
+
+// loggingValidate wraps fakeValidate so the outcome log is actually
+// written — the incremental path requires the previous generation's log
+// on disk.
+func loggingValidate(t *testing.T, calls *atomic.Int64) ValidateFunc {
+	inner := fakeValidate(calls)
+	return func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error) {
+		if outcomeLog != "" {
+			if err := os.WriteFile(outcomeLog, []byte("LOG"), 0o666); err != nil {
+				t.Error(err)
+			}
+		}
+		return inner(path, workers, outcomeLog, checkpointDir)
+	}
+}
+
+// TestAppendRunsIncrementalUpdate: appending to a done shard-set job
+// registers a new job under the grown corpus's checksum, and — with the
+// previous result cached and its outcome log retained — that job runs
+// through Config.Update, not Validate. The old job keeps serving the
+// superseded generation.
+func TestAppendRunsIncrementalUpdate(t *testing.T) {
+	var calls, updates atomic.Int64
+	s := newTestServer(t, &calls, func(c *Config) {
+		c.RetainOutcomes = true
+		c.Validate = loggingValidate(t, &calls)
+		c.Update = func(path string, prev *core.StreamResult, prevLog string, workers int, outcomeLog string) (*core.StreamResult, error) {
+			updates.Add(1)
+			if prev == nil {
+				t.Error("update ran without the previous result")
+			}
+			if _, err := os.Stat(prevLog); err != nil {
+				t.Errorf("update ran without the previous log: %v", err)
+			}
+			if outcomeLog != "" {
+				if err := os.WriteFile(outcomeLog, []byte("LOG2"), 0o666); err != nil {
+					t.Error(err)
+				}
+			}
+			return &core.StreamResult{Name: "fake", Users: prev.Users + 1, Taxonomy: map[string]int{}}, nil
+		}
+	})
+	ds, manifest := spoolShardSet(t, s)
+	info, err := s.Add(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info = waitDone(t, s, info.ID)
+	if info.Status != StatusDone {
+		t.Fatalf("base job: %+v", info)
+	}
+
+	grown, err := s.Append(info.ID, deltaStream(t, ds, freshUser(ds)))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if grown.ID == info.ID {
+		t.Fatal("append did not change the dataset ID")
+	}
+	grown = waitDone(t, s, grown.ID)
+	if grown.Status != StatusDone {
+		t.Fatalf("grown job: %+v", grown)
+	}
+	if updates.Load() != 1 {
+		t.Fatalf("want exactly 1 incremental update, got %d (validations: %d)", updates.Load(), calls.Load())
+	}
+	if m := s.Snapshot(); m.IncrementalUpdates != 1 {
+		t.Fatalf("metrics missed the update: %+v", m)
+	}
+	if old, ok := s.Job(info.ID); !ok || old.Status != StatusDone {
+		t.Fatalf("old generation's job disturbed: %+v", old)
+	}
+}
+
+// TestAppendFallsBackToFullValidation covers both degraded paths: with
+// no retained outcome log the incremental inputs are unavailable and
+// Update must not run at all; with inputs available but Update failing,
+// the full Validate decides and the job still completes.
+func TestAppendFallsBackToFullValidation(t *testing.T) {
+	t.Run("no inputs", func(t *testing.T) {
+		var calls, updates atomic.Int64
+		s := newTestServer(t, &calls, func(c *Config) {
+			// RetainOutcomes off: no previous log can exist.
+			c.Update = func(path string, prev *core.StreamResult, prevLog string, workers int, outcomeLog string) (*core.StreamResult, error) {
+				updates.Add(1)
+				return nil, errors.New("must not run")
+			}
+		})
+		ds, manifest := spoolShardSet(t, s)
+		info, err := s.Add(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, s, info.ID)
+		grown, err := s.Append(info.ID, deltaStream(t, ds, freshUser(ds)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown = waitDone(t, s, grown.ID)
+		if grown.Status != StatusDone {
+			t.Fatalf("grown job: %+v", grown)
+		}
+		if updates.Load() != 0 {
+			t.Fatalf("update ran without its inputs (%d times)", updates.Load())
+		}
+		if calls.Load() != 2 {
+			t.Fatalf("want 2 full validations (base + grown), got %d", calls.Load())
+		}
+	})
+	t.Run("update fails", func(t *testing.T) {
+		var calls, updates atomic.Int64
+		s := newTestServer(t, &calls, func(c *Config) {
+			c.RetainOutcomes = true
+			c.Validate = loggingValidate(t, &calls)
+			c.Update = func(path string, prev *core.StreamResult, prevLog string, workers int, outcomeLog string) (*core.StreamResult, error) {
+				updates.Add(1)
+				return nil, errors.New("synthetic update failure")
+			}
+		})
+		ds, manifest := spoolShardSet(t, s)
+		info, err := s.Add(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, s, info.ID)
+		grown, err := s.Append(info.ID, deltaStream(t, ds, freshUser(ds)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown = waitDone(t, s, grown.ID)
+		if grown.Status != StatusDone {
+			t.Fatalf("grown job after update failure: %+v", grown)
+		}
+		if updates.Load() != 1 || calls.Load() != 2 {
+			t.Fatalf("want 1 failed update then a full validation: updates=%d calls=%d",
+				updates.Load(), calls.Load())
+		}
+		if m := s.Snapshot(); m.IncrementalUpdates != 0 {
+			t.Fatalf("failed update counted as incremental: %+v", m)
+		}
+	})
+}
+
+// TestAppendErrors pins the refusal cases: unknown dataset, a dataset
+// that is not a shard set, and a delta stream for the wrong dataset —
+// all without mutating anything on disk.
+func TestAppendErrors(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, nil)
+
+	if _, err := s.Append("deadbeef", strings.NewReader("x")); err == nil ||
+		!strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("unknown id: %v", err)
+	}
+
+	plain, err := s.Upload(strings.NewReader("not a shard set"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, plain.ID)
+	if _, err := s.Append(plain.ID, strings.NewReader("x")); err == nil {
+		t.Fatal("append to a plain dataset succeeded")
+	}
+
+	ds, manifest := spoolShardSet(t, s)
+	info, err := s.Add(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, info.ID)
+	wrong := &trace.Dataset{Name: "other", POIs: ds.POIs}
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(info.ID, deltaStream(t, wrong, freshUser(ds))); err == nil ||
+		!strings.Contains(err.Error(), "dataset") {
+		t.Fatalf("wrong-dataset stream: %v", err)
+	}
+	if again, _ := os.ReadFile(manifest); !bytes.Equal(raw, again) {
+		t.Fatal("failed append mutated the manifest")
+	}
+}
+
+// TestHTTPAppend drives the append flow over the wire: POST the delta
+// stream with ?wait=1, follow the Location to the new dataset, and see
+// the incremental-update and cache-tier counters on /metrics.
+func TestHTTPAppend(t *testing.T) {
+	var calls, updates atomic.Int64
+	s := newTestServer(t, &calls, func(c *Config) {
+		c.RetainOutcomes = true
+		c.Validate = loggingValidate(t, &calls)
+		c.Update = func(path string, prev *core.StreamResult, prevLog string, workers int, outcomeLog string) (*core.StreamResult, error) {
+			updates.Add(1)
+			if outcomeLog != "" {
+				os.WriteFile(outcomeLog, []byte("LOG2"), 0o666)
+			}
+			return &core.StreamResult{Name: "fake", Users: prev.Users + 1, Taxonomy: map[string]int{}}, nil
+		}
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ds, manifest := spoolShardSet(t, s)
+	info, err := s.Add(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, info.ID)
+
+	stream := deltaStream(t, ds, freshUser(ds))
+	resp, err := http.Post(ts.URL+"/v1/datasets/"+info.ID+"/append?wait=1",
+		"application/octet-stream", stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grown JobInfo
+	code := resp.StatusCode
+	loc := resp.Header.Get("Location")
+	decodeBody(t, resp, &grown)
+	if code != http.StatusOK || grown.Status != StatusDone {
+		t.Fatalf("append: code=%d info=%+v", code, grown)
+	}
+	if grown.ID == info.ID || loc != "/v1/datasets/"+grown.ID {
+		t.Fatalf("append location: id=%s loc=%q", grown.ID, loc)
+	}
+	if updates.Load() != 1 {
+		t.Fatalf("want 1 incremental update, got %d", updates.Load())
+	}
+
+	// Appending to an unknown dataset is a 404 on the resolve step.
+	resp, err = http.Post(ts.URL+"/v1/datasets/feedface/append", "application/octet-stream",
+		strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	code = resp.StatusCode
+	decodeBody(t, resp, &envelope)
+	if code != http.StatusNotFound || envelope.Error == "" {
+		t.Fatalf("unknown append: code=%d body=%+v", code, envelope)
+	}
+
+	metrics := string(readBody(t, get(t, ts.URL+"/metrics")))
+	for _, want := range []string{
+		"geoserve_incremental_updates_total 1",
+		"geoserve_cache_memory_hits_total ",
+		"geoserve_cache_disk_hits_total 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

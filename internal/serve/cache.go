@@ -26,8 +26,9 @@ import (
 // without revalidating them.
 //
 // The cache is safe for concurrent use. Hit/miss counters feed the
-// /metrics endpoint (a disk fall-through that succeeds counts as a
-// hit).
+// /metrics endpoint, split by tier: a memory hit and a disk
+// fall-through that succeeds are counted separately (the total hit
+// count is their sum).
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -41,7 +42,11 @@ type resultCache struct {
 	diskCount      int
 	ll             *list.List // front = most recently used
 	byKey          map[string]*list.Element
-	hits, misses   int64
+	// memHits counts Gets answered from the memory LRU, diskHits Gets
+	// that fell through to the disk tier and promoted a file. The two
+	// tiers have very different costs, so /metrics reports them
+	// separately (their sum is the total hit count).
+	memHits, diskHits, misses int64
 }
 
 // cacheEntry is one key/value pair on the LRU list.
@@ -114,7 +119,7 @@ func (c *resultCache) entryPath(key string) string {
 func (c *resultCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
-		c.hits++
+		c.memHits++
 		c.ll.MoveToFront(el)
 		val := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
@@ -124,7 +129,7 @@ func (c *resultCache) Get(key string) ([]byte, bool) {
 	if c.dir != "" {
 		if data, err := os.ReadFile(c.entryPath(key)); err == nil {
 			c.mu.Lock()
-			c.hits++
+			c.diskHits++
 			c.insertLocked(key, data)
 			c.mu.Unlock()
 			return data, true
@@ -283,9 +288,10 @@ func (c *resultCache) insertLocked(key string, val []byte) {
 	}
 }
 
-// Stats returns the counters exported by /metrics.
-func (c *resultCache) Stats() (hits, misses int64, entries, capacity int) {
+// Stats returns the counters exported by /metrics. Hits are reported
+// per tier; the total hit count is their sum.
+func (c *resultCache) Stats() (memHits, diskHits, misses int64, entries, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len(), c.capacity
+	return c.memHits, c.diskHits, c.misses, c.ll.Len(), c.capacity
 }

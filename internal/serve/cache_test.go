@@ -54,9 +54,41 @@ func TestResultCacheStats(t *testing.T) {
 	c.Put("a", []byte("A"))
 	c.Get("a")
 	c.Get("nope")
-	hits, misses, entries, capacity := c.Stats()
-	if hits != 1 || misses != 1 || entries != 1 || capacity != 1 {
-		t.Fatalf("stats = %d/%d/%d/%d", hits, misses, entries, capacity)
+	memHits, diskHits, misses, entries, capacity := c.Stats()
+	if memHits != 1 || diskHits != 0 || misses != 1 || entries != 1 || capacity != 1 {
+		t.Fatalf("stats = %d/%d/%d/%d/%d", memHits, diskHits, misses, entries, capacity)
+	}
+}
+
+// TestResultCacheTierHitIndependence pins the per-tier hit split: a
+// memory hit moves only the memory counter, a disk promotion only the
+// disk counter, and a full miss only the miss counter — the three are
+// independent, so /metrics can attribute cache traffic to the tier
+// that actually served it.
+func TestResultCacheTierHitIndependence(t *testing.T) {
+	c, err := newResultCache(1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B")) // evicts a from memory; both persist on disk
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("b missing") // memory hit
+	}
+	if mem, disk, miss, _, _ := c.Stats(); mem != 1 || disk != 0 || miss != 0 {
+		t.Fatalf("after memory hit: %d/%d/%d", mem, disk, miss)
+	}
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("a = %q, %v", v, ok) // disk promotion
+	}
+	if mem, disk, miss, _, _ := c.Stats(); mem != 1 || disk != 1 || miss != 0 {
+		t.Fatalf("after disk promotion: %d/%d/%d", mem, disk, miss)
+	}
+	if _, ok := c.Get("nope"); ok {
+		t.Fatal("phantom entry")
+	}
+	if mem, disk, miss, _, _ := c.Stats(); mem != 1 || disk != 1 || miss != 1 {
+		t.Fatalf("after miss: %d/%d/%d", mem, disk, miss)
 	}
 }
 
@@ -65,7 +97,7 @@ func TestResultCacheManyKeys(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		c.Put(fmt.Sprintf("k%03d", i), []byte{byte(i)})
 	}
-	_, _, entries, _ := c.Stats()
+	_, _, _, entries, _ := c.Stats()
 	if entries != 8 {
 		t.Fatalf("entries = %d, want 8", entries)
 	}

@@ -6,6 +6,7 @@ package serve
 //	POST /v1/datasets                 upload a dataset file (?wait=1 blocks)
 //	GET  /v1/datasets                 list jobs in arrival order
 //	GET  /v1/datasets/{id}            job status + full StreamResult when done
+//	POST /v1/datasets/{id}/append     append a GSB1 delta stream to a shard set
 //	GET  /v1/datasets/{id}/partition  the Figure 1 partition only
 //	GET  /v1/datasets/{id}/taxonomy   the §5.1 taxonomy only
 //	GET  /v1/datasets/{id}/outcomes   the raw GSO1 outcome log bytes
@@ -42,6 +43,7 @@ func (s *Server) initMux() {
 	mux.HandleFunc("POST /v1/datasets", s.handleUpload)
 	mux.HandleFunc("GET /v1/datasets", s.handleList)
 	mux.HandleFunc("GET /v1/datasets/{id}", s.handleDataset)
+	mux.HandleFunc("POST /v1/datasets/{id}/append", s.handleAppend)
 	mux.HandleFunc("GET /v1/datasets/{id}/partition", s.handlePartition)
 	mux.HandleFunc("GET /v1/datasets/{id}/taxonomy", s.handleTaxonomy)
 	mux.HandleFunc("GET /v1/datasets/{id}/outcomes", s.handleOutcomes)
@@ -218,6 +220,42 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusAccepted
 	}
 	writeJSON(w, status, datasetResponse{JobInfo: info, Result: res})
+}
+
+// handleAppend grows a validated shard-set dataset by one generation:
+// the request body is a GSB1 delta stream (the same wire format an
+// upload uses, carrying only the appended data), applied to the
+// dataset's manifest on disk. The response is the new generation's job
+// — a different dataset ID, since the corpus content changed — which
+// validates incrementally from the old generation's result when
+// possible. ?wait=1 blocks for the new job's completion.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.resolveDone(w, r)
+	if !ok {
+		return
+	}
+	newInfo, err := s.Append(info.ID, http.MaxBytesReader(w, r.Body, maxUploadBytes))
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			status = http.StatusRequestEntityTooLarge
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if wantWait(r) && newInfo.Status != StatusDone && newInfo.Status != StatusFailed {
+		newInfo, _ = s.wait(newInfo.ID, r.Context().Done())
+	}
+	w.Header().Set("Location", "/v1/datasets/"+newInfo.ID)
+	status := http.StatusAccepted
+	if newInfo.Status == StatusDone || newInfo.Status == StatusFailed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, newInfo)
 }
 
 // handleNotReady reports a job that cannot serve a result yet (or ever,
@@ -440,7 +478,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "geoserve_users_per_second %.1f\n", m.UsersPerSecond)
 	fmt.Fprintf(w, "geoserve_uploads_total %d\n", m.Uploads)
 	fmt.Fprintf(w, "geoserve_analyses_total %d\n", m.AnalysesRun)
+	fmt.Fprintf(w, "geoserve_incremental_updates_total %d\n", m.IncrementalUpdates)
 	fmt.Fprintf(w, "geoserve_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "geoserve_cache_memory_hits_total %d\n", m.CacheMemoryHits)
+	fmt.Fprintf(w, "geoserve_cache_disk_hits_total %d\n", m.CacheDiskHits)
 	fmt.Fprintf(w, "geoserve_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "geoserve_cache_entries %d\n", m.CacheEntries)
 	fmt.Fprintf(w, "geoserve_cache_capacity %d\n", m.CacheCapacity)

@@ -62,6 +62,15 @@ var ErrClosed = errors.New("serve: server is closed")
 // must be safe for concurrent calls.
 type ValidateFunc func(path string, workers int, outcomeLog, checkpointDir string) (*core.StreamResult, error)
 
+// UpdateFunc incrementally revalidates an appended shard set: prev is
+// the result of validating the set at its previous generation and
+// prevLog the GSO1 outcome log that run wrote. The implementation must
+// return a result — and, when outcomeLog is non-empty, write a log —
+// byte-identical to a full ValidateFunc run on the same path. The
+// geosocial facade wires it to UpdateValidation. It must be safe for
+// concurrent calls.
+type UpdateFunc func(path string, prev *core.StreamResult, prevLog string, workers int, outcomeLog string) (*core.StreamResult, error)
+
 // AnalyzeFunc runs one analysis kind over an outcome log and returns
 // the presentation-encoded JSON document to serve and cache. The
 // geosocial facade wires it to AnalyzeOutcomes. It must be safe for
@@ -77,6 +86,12 @@ type Config struct {
 	SpoolDir string
 	// Validate runs one validation (required; see ValidateFunc).
 	Validate ValidateFunc
+	// Update runs one incremental revalidation of an appended dataset
+	// (see UpdateFunc). Optional: without it — or whenever the previous
+	// generation's result or outcome log is no longer available — an
+	// appended dataset is revalidated in full through Validate, which is
+	// always correct, only slower.
+	Update UpdateFunc
 	// Workers is the per-job pipeline worker count passed to Validate
 	// (<= 0 selects GOMAXPROCS, exactly as everywhere else).
 	Workers int
@@ -194,6 +209,10 @@ type job struct {
 	// log-capable (its doc contract permits ignoring the parameter), so
 	// a missing log must not trigger regeneration attempts forever.
 	noLog bool
+	// appendFrom, when non-empty, is the dataset ID this job's manifest
+	// was appended from: runJob may then revalidate incrementally via
+	// Config.Update, reusing that job's cached result and outcome log.
+	appendFrom string
 }
 
 // Server is the validation service. Construct with New, expose with
@@ -239,6 +258,7 @@ type Server struct {
 		validateTime time.Duration
 		uploads      int64
 		analyses     int64 // log-backed analyses actually run (not cache hits)
+		updates      int64 // validations satisfied by the incremental path
 	}
 }
 
@@ -405,7 +425,55 @@ func (s *Server) Add(path string) (JobInfo, error) {
 	if err != nil {
 		return JobInfo{}, err
 	}
-	return s.register(path, sum)
+	return s.register(path, sum, "")
+}
+
+// Append applies a GSB1 delta stream to a completed shard-set dataset:
+// the stream becomes the manifest's next generation on disk (a new
+// delta shard; the base shards are untouched), and the grown corpus is
+// registered as a new job under its new checksum. The new job carries
+// the old dataset's ID, so its validation can run incrementally via
+// Config.Update when the old result and outcome log are still
+// available; the old job keeps serving the superseded generation's
+// (cached) result. Nothing on disk changes when the append fails.
+func (s *Server) Append(id string, r io.Reader) (JobInfo, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobInfo{}, ErrClosed
+	}
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("serve: append: unknown dataset %q", id)
+	}
+	if j.info.Status != StatusDone {
+		status := j.info.Status
+		s.mu.Unlock()
+		return JobInfo{}, fmt.Errorf("serve: append: dataset %q is %s, not done", id, status)
+	}
+	path := s.pathForLocked(id)
+	s.mu.Unlock()
+	if path == "" {
+		return JobInfo{}, fmt.Errorf("serve: append: no spool copy of dataset %q remains", id)
+	}
+	aw, err := trace.OpenAppend(path)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("serve: append: %w", err)
+	}
+	if err := aw.AppendStream(r); err != nil {
+		return JobInfo{}, fmt.Errorf("serve: append: %w", err)
+	}
+	if err := aw.Close(); err != nil {
+		return JobInfo{}, fmt.Errorf("serve: append: %w", err)
+	}
+	sum, err := DatasetChecksum(path)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	s.logf("serve: %s: appended generation %d (%s -> %s)",
+		s.displayPath(path), aw.Generation(), shortID(id), shortID(sum))
+	return s.register(path, sum, id)
 }
 
 // displayPath returns path relative to the spool directory when it
@@ -419,8 +487,11 @@ func (s *Server) displayPath(path string) string {
 
 // register binds path to the job for checksum sum, creating and
 // enqueueing the job if it does not exist. A checksum whose result is
-// still cached completes instantly (a cache hit).
-func (s *Server) register(path, sum string) (JobInfo, error) {
+// still cached completes instantly (a cache hit). appendFrom, when
+// non-empty, marks a freshly created job as appended from that dataset
+// ID (see job.appendFrom); it never overwrites an existing job's
+// provenance.
+func (s *Server) register(path, sum, appendFrom string) (JobInfo, error) {
 	// When outcome retention is on, a missing log disqualifies every
 	// shortcut below: the cached result alone cannot serve the outcomes
 	// and analysis endpoints, so a re-add of the dataset revalidates to
@@ -481,8 +552,9 @@ func (s *Server) register(path, sum string) (JobInfo, error) {
 		return j.info, nil
 	}
 	j := &job{
-		info: JobInfo{ID: sum, Path: s.displayPath(path), Status: StatusPending},
-		done: make(chan struct{}),
+		info:       JobInfo{ID: sum, Path: s.displayPath(path), Status: StatusPending},
+		done:       make(chan struct{}),
+		appendFrom: appendFrom,
 	}
 	s.jobs[sum] = j
 	s.order = append(s.order, sum)
@@ -536,17 +608,38 @@ func (s *Server) enqueueLocked(j *job, path string) {
 	}()
 }
 
-// runJob executes one validation and publishes the result to the cache
-// and the job record.
+// runJob executes one validation — incrementally via Config.Update for
+// an appended dataset whose previous generation's result and outcome
+// log are still at hand, in full otherwise — and publishes the result
+// to the cache and the job record.
 func (s *Server) runJob(j *job, path string) {
 	s.mu.Lock()
 	j.info.Status = StatusRunning
+	appendFrom := j.appendFrom
 	s.mu.Unlock()
 
 	t0 := time.Now()
 	logPath := s.outcomePath(j.info.ID)
 	ckDir := s.checkpointPath(j.info.ID)
-	res, err := s.cfg.Validate(path, s.cfg.Workers, logPath, ckDir)
+	var res *core.StreamResult
+	var err error
+	updated := false
+	if appendFrom != "" && s.cfg.Update != nil {
+		if prev, prevLog, ok := s.previousRun(appendFrom); ok {
+			if res, err = s.cfg.Update(path, prev, prevLog, s.cfg.Workers, logPath); err == nil {
+				updated = true
+			} else {
+				// An incremental failure is not a verdict on the dataset
+				// (the previous log may be stale or torn); the full path
+				// decides.
+				s.logf("serve: %s: incremental update failed (%v), revalidating in full", j.info.Path, err)
+				res, err = nil, nil
+			}
+		}
+	}
+	if !updated {
+		res, err = s.cfg.Validate(path, s.cfg.Workers, logPath, ckDir)
+	}
 	elapsed := time.Since(t0)
 
 	if ckDir != "" {
@@ -580,6 +673,9 @@ func (s *Server) runJob(j *job, path string) {
 		s.metrics.validated++
 		s.metrics.users += int64(res.Users)
 		s.metrics.validateTime += elapsed
+		if updated {
+			s.metrics.updates++
+		}
 	}
 	s.metrics.Unlock()
 
@@ -617,6 +713,29 @@ func (s *Server) runJob(j *job, path string) {
 	}
 	close(j.done)
 	s.mu.Unlock()
+}
+
+// previousRun fetches the decoded result and retained outcome log of a
+// completed dataset job — the inputs the incremental update path needs.
+// ok is false when either is gone (evicted and pruned, or retention is
+// off); the caller then falls back to a full validation.
+func (s *Server) previousRun(id string) (prev *core.StreamResult, prevLog string, ok bool) {
+	prevLog = s.outcomePath(id)
+	if prevLog == "" {
+		return nil, "", false
+	}
+	if _, err := os.Stat(prevLog); err != nil {
+		return nil, "", false
+	}
+	data, hit := s.cache.Get(id)
+	if !hit {
+		return nil, "", false
+	}
+	prev, err := core.DecodeStreamResult(data)
+	if err != nil {
+		return nil, "", false
+	}
+	return prev, prevLog, true
 }
 
 // outcomePath is the content-addressed outcome-log location for a
@@ -834,7 +953,7 @@ func (s *Server) Upload(r io.Reader) (JobInfo, error) {
 		}
 		return JobInfo{}, fmt.Errorf("serve: upload: %w", err)
 	}
-	info, err := s.register(final, sum)
+	info, err := s.register(final, sum, "")
 	if err != nil && !preexisted {
 		// register refused the file (the server is closing). Left in
 		// place it would be a stranded upload no job ever references,
@@ -1063,20 +1182,23 @@ func (s *Server) dropPathLocked(path string) {
 // Metrics is a point-in-time snapshot of the service counters, exposed
 // as plain text by /metrics.
 type Metrics struct {
-	DatasetsValidated int64         // validations run to completion
-	ValidateFailures  int64         // validations that errored
-	UsersValidated    int64         // users across completed validations
-	ValidateTime      time.Duration // wall-clock spent validating
-	UsersPerSecond    float64       // UsersValidated / ValidateTime
-	Uploads           int64         // HTTP uploads accepted
-	AnalysesRun       int64         // log-backed analyses computed (cache misses)
-	CacheHits         int64         // results served without recomputation
-	CacheMisses       int64         // cache lookups that missed
-	CacheEntries      int           // results currently cached
-	CacheCapacity     int           // LRU capacity
-	JobsPending       int64         // jobs waiting for a slot
-	JobsRunning       int64         // validations in flight
-	Uptime            time.Duration // since New
+	DatasetsValidated  int64         // validations run to completion
+	ValidateFailures   int64         // validations that errored
+	UsersValidated     int64         // users across completed validations
+	ValidateTime       time.Duration // wall-clock spent validating
+	UsersPerSecond     float64       // UsersValidated / ValidateTime
+	Uploads            int64         // HTTP uploads accepted
+	AnalysesRun        int64         // log-backed analyses computed (cache misses)
+	IncrementalUpdates int64         // appended datasets revalidated incrementally
+	CacheHits          int64         // results served without recomputation (all tiers)
+	CacheMemoryHits    int64         // cache hits answered from the memory LRU
+	CacheDiskHits      int64         // cache hits promoted from the disk tier
+	CacheMisses        int64         // cache lookups that missed
+	CacheEntries       int           // results currently cached
+	CacheCapacity      int           // LRU capacity
+	JobsPending        int64         // jobs waiting for a slot
+	JobsRunning        int64         // validations in flight
+	Uptime             time.Duration // since New
 }
 
 // Snapshot collects the current Metrics.
@@ -1089,11 +1211,13 @@ func (s *Server) Snapshot() Metrics {
 	m.ValidateTime = s.metrics.validateTime
 	m.Uploads = s.metrics.uploads
 	m.AnalysesRun = s.metrics.analyses
+	m.IncrementalUpdates = s.metrics.updates
 	s.metrics.Unlock()
 	if m.ValidateTime > 0 {
 		m.UsersPerSecond = float64(m.UsersValidated) / m.ValidateTime.Seconds()
 	}
-	m.CacheHits, m.CacheMisses, m.CacheEntries, m.CacheCapacity = s.cache.Stats()
+	m.CacheMemoryHits, m.CacheDiskHits, m.CacheMisses, m.CacheEntries, m.CacheCapacity = s.cache.Stats()
+	m.CacheHits = m.CacheMemoryHits + m.CacheDiskHits
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		switch j.info.Status {

@@ -1,0 +1,447 @@
+package trace
+
+// Append container: the generation-aware side of sharded corpora.
+//
+// A shard set grows by whole generations. Each AppendWriter session
+// writes exactly one delta shard — an ordinary GSB1 stream whose frames
+// are interpreted against the earlier shards: a frame for an existing
+// user carries only that user's newly appended GPS fixes and checkins
+// (plus its updated Days/Profile), a frame for an unseen ID introduces
+// a complete new user. The base shards are never rewritten; the
+// manifest is atomically replaced with one that lists the delta shard,
+// bumps Generation, and records the superseded manifest's checksum.
+//
+// Folding is deterministic: a user's effective trace is the
+// concatenation of its frames in shard-list order (base first, then
+// delta shards in generation order), with Days and Profile taken from
+// the last frame. FoldUser enforces the chronological seams, so a
+// folded set decodes to exactly the users a from-scratch corpus of the
+// concatenated data would contain.
+
+import (
+	"compress/gzip"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"geosocial/internal/poi"
+)
+
+// FoldUser merges a user's base frame with the delta frames appended
+// for it, in generation order. Each delta's GPS fixes and checkins are
+// concatenated after the accumulated trace (the chronological seam is
+// enforced: a delta may not begin before the previous frame ended), and
+// Days/Profile come from the last delta. The inputs are not mutated;
+// with no deltas the base is returned as-is.
+func FoldUser(base *User, deltas []*User) (*User, error) {
+	if len(deltas) == 0 {
+		return base, nil
+	}
+	nGPS, nCk := len(base.GPS), len(base.Checkins)
+	for _, d := range deltas {
+		if d.ID != base.ID {
+			return nil, fmt.Errorf("trace: fold user %d: delta frame for user %d", base.ID, d.ID)
+		}
+		nGPS += len(d.GPS)
+		nCk += len(d.Checkins)
+	}
+	out := &User{
+		ID:       base.ID,
+		Profile:  deltas[len(deltas)-1].Profile,
+		Days:     deltas[len(deltas)-1].Days,
+		GPS:      make(GPSTrace, 0, nGPS),
+		Checkins: make(CheckinTrace, 0, nCk),
+	}
+	out.GPS = append(out.GPS, base.GPS...)
+	out.Checkins = append(out.Checkins, base.Checkins...)
+	for _, d := range deltas {
+		if len(d.GPS) > 0 && len(out.GPS) > 0 && d.GPS[0].T < out.GPS[len(out.GPS)-1].T {
+			return nil, fmt.Errorf("trace: fold user %d: delta GPS starts at %d, before trace end %d",
+				base.ID, d.GPS[0].T, out.GPS[len(out.GPS)-1].T)
+		}
+		if len(d.Checkins) > 0 && len(out.Checkins) > 0 && d.Checkins[0].T < out.Checkins[len(out.Checkins)-1].T {
+			return nil, fmt.Errorf("trace: fold user %d: delta checkins start at %d, before trace end %d",
+				base.ID, d.Checkins[0].T, out.Checkins[len(out.Checkins)-1].T)
+		}
+		out.GPS = append(out.GPS, d.GPS...)
+		out.Checkins = append(out.Checkins, d.Checkins...)
+	}
+	return out, nil
+}
+
+// DeltaSet is a generational shard set's delta content, fully decoded
+// and indexed by user ID — the in-memory side of folding. It is
+// read-only after MergeSets builds it, so Fold and FoldSource are safe
+// from concurrent decode workers. Memory is O(appended data), never
+// O(corpus).
+type DeltaSet struct {
+	users map[int][]*User // delta frames per user, in shard-list order
+	home  map[int]int     // manifest shard index of each ID's first delta frame
+}
+
+// MergeSets loads every delta shard of a generational shard set and
+// returns the fold index. For a generation-0 set it returns an empty
+// DeltaSet.
+func MergeSets(ss *ShardSet) (*DeltaSet, error) {
+	ds := &DeltaSet{users: make(map[int][]*User), home: make(map[int]int)}
+	for i, info := range ss.Manifest.Shards {
+		if !info.Delta {
+			continue
+		}
+		r, err := ss.OpenShard(i)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			u, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			if _, ok := ds.home[u.ID]; !ok {
+				ds.home[u.ID] = i
+			}
+			ds.users[u.ID] = append(ds.users[u.ID], u)
+		}
+		if err := r.Close(); err != nil {
+			return nil, fmt.Errorf("trace: close delta shard %s: %w", info.File, err)
+		}
+	}
+	return ds, nil
+}
+
+// Len returns the number of distinct users with delta frames.
+func (ds *DeltaSet) Len() int { return len(ds.users) }
+
+// IDs returns the delta user IDs in ascending order.
+func (ds *DeltaSet) IDs() []int {
+	ids := make([]int, 0, len(ds.users))
+	for id := range ds.users {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Home returns the manifest shard index of the ID's first delta frame
+// (-1 when the ID has none) — the shard a brand-new user is attributed
+// to in per-shard statistics.
+func (ds *DeltaSet) Home(id int) int {
+	if i, ok := ds.home[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Fold returns the base user with its delta frames folded in, or the
+// base unchanged when it has none.
+func (ds *DeltaSet) Fold(base *User) (*User, error) {
+	return FoldUser(base, ds.users[base.ID])
+}
+
+// FoldNew folds a user that exists only in delta shards: its first
+// delta frame acts as the base.
+func (ds *DeltaSet) FoldNew(id int) (*User, error) {
+	frames := ds.users[id]
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("trace: fold user %d: no delta frames", id)
+	}
+	return FoldUser(frames[0], frames[1:])
+}
+
+// FoldSource wraps a base-shard FrameSource so every decoded user comes
+// out with its delta frames folded in. NextFrame passes through;
+// DecodeFrame stays safe for concurrent calls on distinct frames
+// because the DeltaSet is read-only.
+func (ds *DeltaSet) FoldSource(src FrameSource) FrameSource {
+	return foldSource{src: src, ds: ds}
+}
+
+type foldSource struct {
+	src FrameSource
+	ds  *DeltaSet
+}
+
+func (fs foldSource) NextFrame() (Frame, error) { return fs.src.NextFrame() }
+
+func (fs foldSource) DecodeFrame(f Frame) (*User, error) {
+	u, err := fs.src.DecodeFrame(f)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ds.Fold(u)
+}
+
+// AppendWriter appends one generation to an existing shard set. Users
+// are buffered in memory (an append is O(new data), never O(corpus))
+// and Close performs the whole mutation: it verifies every fold seam
+// against the existing shards, writes the delta shard, and atomically
+// replaces the manifest. Nothing on disk changes before Close, and a
+// failed Close leaves the set exactly as it was.
+type AppendWriter struct {
+	ss           *ShardSet
+	manifestPath string
+	pois         []poi.POI
+	compress     bool
+	users        []*User
+	byID         map[int]*User
+	closed       bool
+}
+
+// OpenAppend opens a shard set (manifest path or directory) for
+// appending one generation. The POI table is read from the first shard;
+// appended checkins must reference it (the table itself is immutable
+// across generations, as the manifest's POI checksum enforces).
+func OpenAppend(path string) (*AppendWriter, error) {
+	ss, err := OpenShardSet(path)
+	if err != nil {
+		return nil, err
+	}
+	manifestPath := path
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		if manifestPath, err = findManifest(path); err != nil {
+			return nil, err
+		}
+	}
+	r, err := ss.OpenShard(0)
+	if err != nil {
+		return nil, err
+	}
+	pois := append([]poi.POI(nil), r.POIs()...)
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("trace: append: %w", err)
+	}
+	return &AppendWriter{
+		ss:           ss,
+		manifestPath: manifestPath,
+		pois:         pois,
+		compress:     strings.HasSuffix(ss.Manifest.Shards[0].File, ".gz"),
+		byID:         make(map[int]*User),
+	}, nil
+}
+
+// Name returns the dataset name of the set being appended to.
+func (aw *AppendWriter) Name() string { return aw.ss.Manifest.Name }
+
+// POIs returns the set's shared POI table.
+func (aw *AppendWriter) POIs() []poi.POI { return aw.pois }
+
+// Generation returns the generation this append will produce.
+func (aw *AppendWriter) Generation() int { return aw.ss.Manifest.Generation + 1 }
+
+// ManifestPath returns the manifest path Close rewrites.
+func (aw *AppendWriter) ManifestPath() string { return aw.manifestPath }
+
+// WriteUser buffers one delta user: for an ID that exists in the set,
+// only the newly appended GPS fixes and checkins (with the user's
+// updated Days/Profile); for an unseen ID, the complete new user. At
+// most one frame per user per generation.
+func (aw *AppendWriter) WriteUser(u *User) error {
+	if aw.closed {
+		return fmt.Errorf("trace: append: writer closed")
+	}
+	if err := u.Validate(); err != nil {
+		return fmt.Errorf("trace: append: %w", err)
+	}
+	if err := u.validateRefs(len(aw.pois)); err != nil {
+		return fmt.Errorf("trace: append: %w", err)
+	}
+	if _, dup := aw.byID[u.ID]; dup {
+		return fmt.Errorf("trace: append: duplicate user ID %d in one generation", u.ID)
+	}
+	aw.byID[u.ID] = u
+	aw.users = append(aw.users, u)
+	return nil
+}
+
+// AppendStream feeds a whole GSB1 delta stream into the writer after
+// verifying its header matches the set (dataset name and POI-table
+// checksum) — the wire form of an append, as accepted by the serve
+// layer's append endpoint.
+func (aw *AppendWriter) AppendStream(r io.Reader) error {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return err
+	}
+	if sr.Name() != aw.ss.Manifest.Name {
+		return fmt.Errorf("trace: append: stream is for dataset %q, set is %q", sr.Name(), aw.ss.Manifest.Name)
+	}
+	if sum := POIChecksum(sr.POIs()); sum != aw.ss.Manifest.POIChecksum {
+		return fmt.Errorf("trace: append: stream POI checksum %s, set has %s", sum, aw.ss.Manifest.POIChecksum)
+	}
+	for {
+		u, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := aw.WriteUser(u); err != nil {
+			return err
+		}
+	}
+}
+
+// scanExisting walks every existing shard once, collecting the decoded
+// frames of the buffered users (cheap ID peek per frame; only matching
+// frames are decoded) in shard-list order.
+func (aw *AppendWriter) scanExisting() (map[int][]*User, error) {
+	parts := make(map[int][]*User, len(aw.byID))
+	for i := range aw.ss.Manifest.Shards {
+		r, err := aw.ss.OpenShard(i)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			f, err := r.NextFrame()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			id, err := f.UserID()
+			if err != nil {
+				r.Recycle(f)
+				r.Close()
+				return nil, err
+			}
+			if _, touched := aw.byID[id]; !touched {
+				r.Recycle(f)
+				continue
+			}
+			u, err := r.DecodeFrame(f)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			parts[id] = append(parts[id], u)
+		}
+		if err := r.Close(); err != nil {
+			return nil, fmt.Errorf("trace: append: close shard: %w", err)
+		}
+	}
+	return parts, nil
+}
+
+// Close applies the append: every buffered user's fold chain is
+// verified against the existing shards (chronological seams), the delta
+// shard is written next to the others, and the manifest is atomically
+// replaced with the next generation. On any error the set on disk is
+// left untouched.
+func (aw *AppendWriter) Close() error {
+	if aw.closed {
+		return nil
+	}
+	aw.closed = true
+	if len(aw.users) == 0 {
+		return fmt.Errorf("trace: append: no users to append")
+	}
+
+	parts, err := aw.scanExisting()
+	if err != nil {
+		return err
+	}
+	newUsers := 0
+	for _, u := range aw.users {
+		chain := parts[u.ID]
+		if len(chain) == 0 {
+			newUsers++
+			continue
+		}
+		if _, err := FoldUser(chain[0], append(chain[1:], u)); err != nil {
+			return fmt.Errorf("trace: append: %w", err)
+		}
+	}
+
+	gen := aw.ss.Manifest.Generation + 1
+	name := aw.ss.Manifest.Name
+	final := fmt.Sprintf("%s-delta-%04d%s", name, gen, FormatBinary.Ext())
+	if aw.compress {
+		final += ".gz"
+	}
+	finalPath := filepath.Join(aw.ss.Dir, final)
+	if _, err := os.Stat(finalPath); err == nil {
+		return fmt.Errorf("trace: append: delta shard %s already exists", final)
+	}
+
+	f, err := createTemp(finalPath)
+	if err != nil {
+		return fmt.Errorf("trace: append: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	var sink io.Writer = f
+	var gz *gzip.Writer
+	if aw.compress {
+		gz = gzip.NewWriter(f)
+		sink = gz
+	}
+	sw, err := NewStreamWriter(sink, name, aw.pois)
+	if err != nil {
+		return fail(err)
+	}
+	for _, u := range aw.users {
+		if err := sw.WriteUser(u); err != nil {
+			return fail(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		return fail(err)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return fail(fmt.Errorf("trace: append: %w", err))
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: append: %w", err)
+	}
+
+	// The superseded manifest's checksum goes into the audit chain
+	// before the file is replaced.
+	prevRaw, err := os.ReadFile(aw.manifestPath)
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: append: %w", err)
+	}
+
+	m := aw.ss.Manifest
+	m.Shards = append(append([]ShardInfo(nil), m.Shards...), ShardInfo{
+		File:       final,
+		Users:      sw.Users(),
+		Bytes:      sw.Bytes(),
+		Delta:      true,
+		Generation: gen,
+		NewUsers:   newUsers,
+	})
+	m.Users += newUsers
+	m.Generation = gen
+	m.Supersedes = fmt.Sprintf("sha256:%x", sha256.Sum256(prevRaw))
+
+	// Publish: delta shard first, manifest last, so a manifest on disk
+	// always describes complete shards (the ShardWriter discipline).
+	if err := os.Rename(tmp, finalPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: append: %w", err)
+	}
+	if err := writeManifest(aw.manifestPath, &m); err != nil {
+		os.Remove(finalPath)
+		return err
+	}
+	return nil
+}

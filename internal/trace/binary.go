@@ -424,6 +424,31 @@ type Frame struct {
 	user *User   // pre-decoded user for SourceFrames adapters
 }
 
+// UserID peeks the frame's user ID without decoding the frame: the ID
+// is the payload's leading zigzag varint. For a pre-decoded frame it
+// returns the wrapped user's ID. Peeking does not consume the frame —
+// it must still be decoded or recycled.
+func (f Frame) UserID() (int, error) {
+	if f.user != nil {
+		return f.user.ID, nil
+	}
+	id, n := binary.Varint(f.data)
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: binary frame: bad user ID varint")
+	}
+	return int(id), nil
+}
+
+// Recycle returns an undecoded frame's buffer to the reader's pool
+// without decoding it — the counterpart of DecodeFrame for callers that
+// peek (Frame.UserID) and skip frames. The frame must not be used
+// afterwards.
+func (sr *StreamReader) Recycle(f Frame) {
+	if f.buf != nil {
+		sr.bufs.Put(f.buf)
+	}
+}
+
 // FrameSource is the two-stage ingest interface behind parallel decode.
 // NextFrame returns the next undecoded frame, or io.EOF at a verified
 // end of stream; it must be called from one goroutine at a time.

@@ -53,6 +53,19 @@ type ShardInfo struct {
 	Users int `json:"users"`
 	// Bytes is the uncompressed encoded size of the shard stream.
 	Bytes int64 `json:"bytes"`
+	// Delta marks an append-container shard: its frames carry the data
+	// appended in one generation — new trailing GPS fixes / checkins for
+	// users that already exist in earlier shards, or complete new users.
+	// Delta shards are ordinary GSB1 streams; only their interpretation
+	// differs (frames are folded onto earlier frames, see FoldUser).
+	Delta bool `json:"delta,omitempty"`
+	// Generation is the append generation that produced this shard
+	// (>= 1 for delta shards, 0 for base shards).
+	Generation int `json:"generation,omitempty"`
+	// NewUsers is the number of frames in this delta shard whose user ID
+	// does not occur in any earlier shard of the set; only those count
+	// toward the manifest's total user count.
+	NewUsers int `json:"new_users,omitempty"`
 }
 
 // Manifest is the shard-set descriptor stored next to the shard files.
@@ -66,10 +79,20 @@ type Manifest struct {
 	// POIChecksum is the checksum of the encoded POI table shared by
 	// every shard (see POIChecksum).
 	POIChecksum string `json:"poi_checksum"`
-	// Users is the total user count across all shards.
+	// Users is the total distinct user count across all shards: base
+	// shards contribute their frame counts, delta shards only the frames
+	// introducing users unseen in earlier shards (ShardInfo.NewUsers).
 	Users int `json:"users"`
-	// Shards lists the shard files in index order.
+	// Shards lists the shard files in index order. Delta shards always
+	// follow every shard of earlier generations.
 	Shards []ShardInfo `json:"shards"`
+	// Generation counts the appends applied to the set: 0 for a freshly
+	// written corpus, incremented by one for each AppendWriter session.
+	Generation int `json:"generation,omitempty"`
+	// Supersedes is the checksum ("sha256:<hex>") of the manifest file
+	// this one atomically replaced, forming an audit chain of appends.
+	// Empty for generation 0.
+	Supersedes string `json:"supersedes,omitempty"`
 }
 
 // POIChecksum fingerprints a POI table: sha256 over the table's binary
@@ -345,6 +368,17 @@ func OpenShardSet(path string) (*ShardSet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: open shard set: %w", err)
 	}
+	m, err := parseManifest(raw, path)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardSet{Manifest: *m, Dir: filepath.Dir(path)}, nil
+}
+
+// parseManifest decodes and validates a manifest document. It is a pure
+// function of the bytes (path only labels errors), which is what the
+// manifest fuzz target exercises.
+func parseManifest(raw []byte, path string) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("trace: open shard set %s: %w", path, err)
@@ -358,7 +392,10 @@ func OpenShardSet(path string) (*ShardSet, error) {
 	if len(m.Shards) == 0 {
 		return nil, fmt.Errorf("trace: %s: manifest lists no shards", path)
 	}
-	total := 0
+	if m.Generation < 0 {
+		return nil, fmt.Errorf("trace: %s: negative manifest generation %d", path, m.Generation)
+	}
+	total, maxGen, prevGen := 0, 0, 0
 	for i, s := range m.Shards {
 		if s.File == "" || filepath.IsAbs(s.File) || strings.Contains(s.File, "..") {
 			return nil, fmt.Errorf("trace: %s: shard %d has unsafe file name %q", path, i, s.File)
@@ -366,12 +403,40 @@ func OpenShardSet(path string) (*ShardSet, error) {
 		if s.Users < 0 {
 			return nil, fmt.Errorf("trace: %s: shard %d has negative user count", path, i)
 		}
-		total += s.Users
+		if s.Delta {
+			if s.Generation < 1 {
+				return nil, fmt.Errorf("trace: %s: delta shard %d has generation %d (need >= 1)", path, i, s.Generation)
+			}
+			if s.NewUsers < 0 || s.NewUsers > s.Users {
+				return nil, fmt.Errorf("trace: %s: delta shard %d claims %d new users of %d frames", path, i, s.NewUsers, s.Users)
+			}
+			total += s.NewUsers
+		} else {
+			if s.Generation != 0 || s.NewUsers != 0 {
+				return nil, fmt.Errorf("trace: %s: base shard %d carries delta fields", path, i)
+			}
+			if maxGen > 0 {
+				return nil, fmt.Errorf("trace: %s: base shard %d listed after a delta shard", path, i)
+			}
+			total += s.Users
+		}
+		// Delta shards must appear in non-decreasing generation order so
+		// "shard-list order" and "generation order" agree for folding.
+		if s.Generation < prevGen {
+			return nil, fmt.Errorf("trace: %s: shard %d generation %d after generation %d", path, i, s.Generation, prevGen)
+		}
+		prevGen = s.Generation
+		if s.Generation > maxGen {
+			maxGen = s.Generation
+		}
+	}
+	if maxGen != m.Generation {
+		return nil, fmt.Errorf("trace: %s: manifest generation %d but shard generations reach %d", path, m.Generation, maxGen)
 	}
 	if total != m.Users {
 		return nil, fmt.Errorf("trace: %s: shard user counts sum to %d, manifest says %d", path, total, m.Users)
 	}
-	return &ShardSet{Manifest: m, Dir: filepath.Dir(path)}, nil
+	return &m, nil
 }
 
 // findManifest locates the single "*.manifest.json" inside dir.
@@ -468,6 +533,10 @@ func (r *ShardReader) NextFrame() (Frame, error) {
 
 // DecodeFrame decodes and validates one frame (see StreamReader.DecodeFrame).
 func (r *ShardReader) DecodeFrame(f Frame) (*User, error) { return r.sr.DecodeFrame(f) }
+
+// Recycle returns an undecoded frame's buffer to the shard reader's
+// pool (see StreamReader.Recycle).
+func (r *ShardReader) Recycle(f Frame) { r.sr.Recycle(f) }
 
 // Next decodes the next user serially (NextFrame + DecodeFrame plus a
 // reader-local duplicate check), so a single shard can also be read as

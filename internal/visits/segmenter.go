@@ -1,0 +1,239 @@
+package visits
+
+// Segmenter is the resumable form of Detect: stay-point segmentation as
+// an online fold over the GPS stream. Feed accepts any chunking of the
+// trace — whole days, single fixes — and emits every visit the batch
+// algorithm would have emitted from the prefix seen so far, as soon as
+// it is decidable. The only state carried between feeds is the open
+// tail window (the fixes since the last finalized stay decision), so
+// appending a day to a user re-examines just that tail, never the whole
+// history. Finish flushes the final window exactly as the batch scan
+// decides it at end of trace.
+//
+// Detect is implemented on top of the Segmenter, which is what makes
+// chunked and batch segmentation equal by construction: a window is
+// only finalized when an observed fix breaks it (roam radius or time
+// gap) or the trace ends, and both paths take those decisions from the
+// same scan.
+//
+// The open-window state round-trips through EncodeState/RestoreState —
+// a self-delimiting binary blob suited to a GSF1 fragment chunk — so a
+// checkpointed ingest can park a user mid-stream and resume when its
+// next day arrives.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"geosocial/internal/geo"
+	"geosocial/internal/poi"
+	"geosocial/internal/trace"
+)
+
+// segStateVersion is the EncodeState blob version.
+const segStateVersion = 1
+
+// maxStatePoints caps the fix count a RestoreState blob may claim, so a
+// corrupt length prefix cannot trigger a huge allocation.
+const maxStatePoints = 1 << 24
+
+// Segmenter carries visit detection's open stay-point state between
+// feeds. Create with NewSegmenter; not safe for concurrent use.
+type Segmenter struct {
+	cfg      Config
+	db       *poi.DB
+	buf      []trace.GPSPoint // open tail window: fixes not yet finalized
+	lastT    int64            // time of the last fix ever fed
+	have     bool             // at least one fix has been fed
+	finished bool
+}
+
+// NewSegmenter validates the configuration and returns a fresh
+// segmenter. The db may be nil, in which case visits are not snapped to
+// POIs.
+func NewSegmenter(cfg Config, db *poi.DB) (*Segmenter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Segmenter{cfg: cfg, db: db}, nil
+}
+
+// Pending returns the number of fixes held in the open tail window —
+// the whole state a resumed feed re-examines.
+func (s *Segmenter) Pending() int { return len(s.buf) }
+
+// Feed appends fixes to the stream and returns the visits that became
+// decidable. Fixes must continue the trace in non-decreasing time
+// order, across feeds as well as within one.
+func (s *Segmenter) Feed(pts []trace.GPSPoint) ([]trace.Visit, error) {
+	if s.finished {
+		return nil, fmt.Errorf("visits: segmenter already finished")
+	}
+	for _, p := range pts {
+		if s.have && p.T < s.lastT {
+			return nil, fmt.Errorf("visits: GPS trace not time-ordered")
+		}
+		s.lastT = p.T
+		s.have = true
+	}
+	s.buf = append(s.buf, pts...)
+	return s.drain(false), nil
+}
+
+// Finish flushes the open window with the batch algorithm's
+// end-of-trace decision and seals the segmenter. Idempotent; a sealed
+// segmenter rejects further feeds.
+func (s *Segmenter) Finish() []trace.Visit {
+	if s.finished {
+		return nil
+	}
+	s.finished = true
+	out := s.drain(true)
+	s.buf = nil
+	return out
+}
+
+// drain runs the stay-point scan over the buffered window, emitting
+// every finalized visit. A window is finalized when an observed next
+// fix breaks it (gap or roam) — or unconditionally when finish is set,
+// mirroring the batch scan running out of trace.
+func (s *Segmenter) drain(finish bool) []trace.Visit {
+	var out []trace.Visit
+	for {
+		n := len(s.buf)
+		if n == 0 {
+			return out
+		}
+		anchor := s.buf[0].Loc
+		j := 0
+		closed := false
+		for j+1 < n {
+			next := s.buf[j+1]
+			if time.Duration(next.T-s.buf[j].T)*time.Second > s.cfg.MaxGap {
+				closed = true
+				break
+			}
+			if geo.Distance(anchor, next.Loc) > s.cfg.RoamRadius {
+				closed = true
+				break
+			}
+			j++
+		}
+		if !closed && !finish {
+			return out // open window: undecidable until more fixes arrive
+		}
+		if dur := time.Duration(s.buf[j].T-s.buf[0].T) * time.Second; dur >= s.cfg.MinDuration {
+			v := trace.Visit{
+				Start: s.buf[0].T,
+				End:   s.buf[j].T,
+				Loc:   centroid(s.buf[:j+1]),
+				POIID: -1,
+			}
+			if s.db != nil {
+				if p, dist, ok := s.db.Nearest(v.Loc); ok && dist <= s.cfg.SnapRadius {
+					v.POIID = p.ID
+					v.Category = p.Category
+				}
+			}
+			out = append(out, v)
+			s.buf = s.buf[j+1:]
+		} else {
+			s.buf = s.buf[1:]
+		}
+	}
+}
+
+// EncodeState serializes the open-window state (not the configuration)
+// as a self-delimiting blob, losslessly — coordinates keep their full
+// float64 bits, so a restored segmenter continues bit-for-bit like the
+// original.
+func (s *Segmenter) EncodeState() []byte {
+	buf := []byte{segStateVersion}
+	var flags byte
+	if s.have {
+		flags |= 1
+	}
+	if s.finished {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendVarint(buf, s.lastT)
+	buf = binary.AppendUvarint(buf, uint64(len(s.buf)))
+	for _, p := range s.buf {
+		buf = binary.AppendVarint(buf, p.T)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Loc.Lat))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Loc.Lon))
+		if p.Indoor {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// RestoreState replaces the segmenter's open-window state with a blob
+// produced by EncodeState (under the same configuration). Any decode
+// inconsistency is an error and leaves the segmenter unchanged.
+func (s *Segmenter) RestoreState(data []byte) error {
+	if len(data) < 2 {
+		return fmt.Errorf("visits: segmenter state truncated")
+	}
+	if data[0] != segStateVersion {
+		return fmt.Errorf("visits: unsupported segmenter state version %d", data[0])
+	}
+	flags := data[1]
+	if flags > 3 {
+		return fmt.Errorf("visits: bad segmenter state flags %#x", flags)
+	}
+	pos := 2
+	lastT, n := binary.Varint(data[pos:])
+	if n <= 0 {
+		return fmt.Errorf("visits: bad segmenter state time")
+	}
+	pos += n
+	count, n := binary.Uvarint(data[pos:])
+	if n <= 0 || count > maxStatePoints {
+		return fmt.Errorf("visits: bad segmenter state fix count")
+	}
+	pos += n
+	buf := make([]trace.GPSPoint, 0, count)
+	prevT := int64(math.MinInt64)
+	for i := uint64(0); i < count; i++ {
+		t, n := binary.Varint(data[pos:])
+		if n <= 0 {
+			return fmt.Errorf("visits: bad segmenter state fix %d", i)
+		}
+		pos += n
+		if pos+17 > len(data) {
+			return fmt.Errorf("visits: segmenter state truncated at fix %d", i)
+		}
+		p := trace.GPSPoint{
+			T: t,
+			Loc: geo.LatLon{
+				Lat: math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])),
+				Lon: math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8:])),
+			},
+			Indoor: data[pos+16] != 0,
+		}
+		pos += 17
+		if p.T < prevT {
+			return fmt.Errorf("visits: segmenter state fixes out of order")
+		}
+		prevT = p.T
+		buf = append(buf, p)
+	}
+	if pos != len(data) {
+		return fmt.Errorf("visits: %d trailing bytes in segmenter state", len(data)-pos)
+	}
+	if count > 0 && (flags&1 == 0 || buf[count-1].T > lastT) {
+		return fmt.Errorf("visits: inconsistent segmenter state")
+	}
+	s.buf = buf
+	s.lastT = lastT
+	s.have = flags&1 != 0
+	s.finished = flags&2 != 0
+	return nil
+}

@@ -70,52 +70,20 @@ func (c Config) Validate() error {
 // Detect extracts visits from a time-ordered GPS trace. The db may be nil,
 // in which case visits are not snapped to POIs. Detected visits are
 // non-overlapping and time-ordered.
+//
+// Detect is the one-shot form of the Segmenter: it feeds the whole trace
+// and flushes, so batch and incremental segmentation share a single
+// implementation and cannot diverge.
 func Detect(tr trace.GPSTrace, cfg Config, db *poi.DB) ([]trace.Visit, error) {
-	if err := cfg.Validate(); err != nil {
+	s, err := NewSegmenter(cfg, db)
+	if err != nil {
 		return nil, err
 	}
-	if !tr.Sorted() {
-		return nil, fmt.Errorf("visits: GPS trace not time-ordered")
+	out, err := s.Feed(tr)
+	if err != nil {
+		return nil, err
 	}
-	var out []trace.Visit
-	i := 0
-	n := len(tr)
-	for i < n {
-		anchor := tr[i].Loc
-		j := i
-		// Extend the stay while fixes remain within RoamRadius of the
-		// anchor and gaps stay acceptable.
-		for j+1 < n {
-			next := tr[j+1]
-			if time.Duration(next.T-tr[j].T)*time.Second > cfg.MaxGap {
-				break
-			}
-			if geo.Distance(anchor, next.Loc) > cfg.RoamRadius {
-				break
-			}
-			j++
-		}
-		dur := time.Duration(tr[j].T-tr[i].T) * time.Second
-		if dur >= cfg.MinDuration {
-			v := trace.Visit{
-				Start: tr[i].T,
-				End:   tr[j].T,
-				Loc:   centroid(tr[i : j+1]),
-				POIID: -1,
-			}
-			if db != nil {
-				if p, dist, ok := db.Nearest(v.Loc); ok && dist <= cfg.SnapRadius {
-					v.POIID = p.ID
-					v.Category = p.Category
-				}
-			}
-			out = append(out, v)
-			i = j + 1
-			continue
-		}
-		i++
-	}
-	return out, nil
+	return append(out, s.Finish()...), nil
 }
 
 // centroid returns the mean coordinate of the fixes. Valid for the small

@@ -77,6 +77,12 @@ type ServerOptions struct {
 	// (oldest pruned first after a failed validation; pruning costs
 	// only that run's partial progress). <= 0 means unbounded.
 	MaxCheckpointRuns int
+	// CheckpointStale overrides how old an orphaned checkpoint temp
+	// file must be before a resuming run sweeps it (see
+	// checkpoint.DefaultStaleAfter; <= 0 selects the default). It only
+	// tunes crash-debris cleanup, so it is deliberately excluded from
+	// the parameter fingerprint that namespaces the persisted tiers.
+	CheckpointStale time.Duration
 	// Logf, when non-nil, receives one line per service lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -110,10 +116,20 @@ func NewServer(opts ServerOptions) (*serve.Server, error) {
 			o.Workers = workers
 			o.OutcomeLog = outcomeLog
 			o.CheckpointDir = checkpointDir
+			o.CheckpointStale = opts.CheckpointStale
 			if o.Logf == nil {
 				o.Logf = opts.Logf // surface checkpoint hits in the service log
 			}
 			return ValidateFileOpts(path, o)
+		},
+		Update: func(path string, prev *StreamResult, prevLog string, workers int, outcomeLog string) (*StreamResult, error) {
+			o := opts.Stream
+			o.Workers = workers
+			o.OutcomeLog = outcomeLog
+			if o.Logf == nil {
+				o.Logf = opts.Logf
+			}
+			return UpdateValidation(path, prev, prevLog, o)
 		},
 	}
 	if opts.Outcomes {
