@@ -15,6 +15,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -136,11 +137,97 @@ func TestAppendRunsIncrementalUpdate(t *testing.T) {
 	if updates.Load() != 1 {
 		t.Fatalf("want exactly 1 incremental update, got %d (validations: %d)", updates.Load(), calls.Load())
 	}
-	if m := s.Snapshot(); m.IncrementalUpdates != 1 {
+	m := s.Snapshot()
+	if m.IncrementalUpdates != 1 {
 		t.Fatalf("metrics missed the update: %+v", m)
+	}
+	if m.CacheHits != 0 {
+		t.Fatalf("internal previous-result lookup counted as a client cache hit: %+v", m)
 	}
 	if old, ok := s.Job(info.ID); !ok || old.Status != StatusDone {
 		t.Fatalf("old generation's job disturbed: %+v", old)
+	}
+}
+
+// TestConcurrentAppendsSerialize: concurrent appends to one dataset
+// must serialize into successive generations — every acknowledged
+// append's data reaches a delta shard on disk, none silently lost to a
+// delta-shard or manifest overwrite. An append that resolves the spool
+// path only after another append already re-bound it to the grown
+// corpus's checksum may be refused, but it must fail loudly, never
+// acknowledge and drop data.
+func TestConcurrentAppendsSerialize(t *testing.T) {
+	var calls atomic.Int64
+	s := newTestServer(t, &calls, nil)
+	ds, manifest := spoolShardSet(t, s)
+	info, err := s.Add(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, info.ID)
+
+	const n = 4
+	base := freshUser(ds).ID
+	// Pre-encode the streams: the race under test is Append itself.
+	streams := make([]*bytes.Reader, n)
+	for i := range streams {
+		streams[i] = deltaStream(t, ds, &trace.User{ID: base + i, Days: 7})
+	}
+	infos := make([]JobInfo, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			infos[i], errs[i] = s.Append(info.ID, streams[i])
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	acked := make(map[int]bool) // delta user IDs of acknowledged appends
+	seen := make(map[string]bool)
+	for i, err := range errs {
+		if err != nil {
+			// The only legitimate refusal: the dataset had already moved
+			// on under this ID before the path was resolved.
+			if !strings.Contains(err.Error(), "no spool copy") {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			continue
+		}
+		acked[base+i] = true
+		if seen[infos[i].ID] {
+			t.Fatalf("two acknowledged appends share dataset ID %s", infos[i].ID)
+		}
+		seen[infos[i].ID] = true
+	}
+	if len(acked) == 0 {
+		t.Fatal("no append succeeded")
+	}
+
+	ss, err := trace.OpenShardSet(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Manifest.Generation != len(acked) {
+		t.Fatalf("generation %d after %d acknowledged appends", ss.Manifest.Generation, len(acked))
+	}
+	deltas, err := trace.MergeSets(ss)
+	if err != nil {
+		t.Fatalf("delta shards do not decode: %v", err)
+	}
+	for _, id := range deltas.IDs() {
+		if !acked[id] {
+			t.Errorf("delta user %d on disk was never acknowledged", id)
+		}
+		delete(acked, id)
+	}
+	if len(acked) > 0 {
+		t.Fatalf("acknowledged appends missing from disk: %v", acked)
 	}
 }
 

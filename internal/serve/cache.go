@@ -141,6 +141,28 @@ func (c *resultCache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
+// Peek returns the cached bytes for key without touching the hit/miss
+// counters, the LRU order, or the memory tier (a disk-tier entry is
+// read but not promoted). It serves the server's internal lookups —
+// the incremental-update path fetching a previous generation's result
+// — so /metrics reflects only client-driven traffic. The returned
+// slice is shared — callers must not mutate it.
+func (c *resultCache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.entryPath(key)); err == nil {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
 // Put inserts (or refreshes) key in memory, persists it to the disk
 // tier (outside the lock), and evicts the least recently used memory
 // entries beyond capacity (their disk copies stay).

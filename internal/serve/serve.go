@@ -231,6 +231,18 @@ type Server struct {
 	shardFiles map[string]bool   // spool paths claimed as shards by a manifest
 	closed     bool
 
+	// appendLocks serializes appends per manifest path: two concurrent
+	// appends to one shard set would otherwise both build generation
+	// N+1 — racing on the delta shard file and the manifest, with the
+	// last manifest write silently discarding the other acknowledged
+	// append's data. One mutex per path, created on first use and never
+	// removed (the map is bounded by the distinct shard sets appended
+	// to over the server's life).
+	appendLocks struct {
+		sync.Mutex
+		m map[string]*sync.Mutex
+	}
+
 	// analysisBusy single-flights analysis computations per cache key:
 	// concurrent requests for the same uncached (dataset, kind) wait on
 	// the first runner's channel instead of burning N× CPU.
@@ -457,6 +469,15 @@ func (s *Server) Append(id string, r io.Reader) (JobInfo, error) {
 	if path == "" {
 		return JobInfo{}, fmt.Errorf("serve: append: no spool copy of dataset %q remains", id)
 	}
+	// Serialize with every other append to the same shard set, held
+	// through DatasetChecksum and register so the checksum bound to the
+	// new job is computed from exactly the generation this append
+	// produced. A concurrent append that waited here opens the manifest
+	// at the generation the winner published and lands as the one
+	// after it — both appends' data survives, in sequence.
+	lock := s.appendLock(path)
+	lock.Lock()
+	defer lock.Unlock()
 	aw, err := trace.OpenAppend(path)
 	if err != nil {
 		return JobInfo{}, fmt.Errorf("serve: append: %w", err)
@@ -474,6 +495,22 @@ func (s *Server) Append(id string, r io.Reader) (JobInfo, error) {
 	s.logf("serve: %s: appended generation %d (%s -> %s)",
 		s.displayPath(path), aw.Generation(), shortID(id), shortID(sum))
 	return s.register(path, sum, id)
+}
+
+// appendLock returns the mutex serializing appends to one manifest
+// path, creating it on first use.
+func (s *Server) appendLock(path string) *sync.Mutex {
+	s.appendLocks.Lock()
+	defer s.appendLocks.Unlock()
+	if s.appendLocks.m == nil {
+		s.appendLocks.m = make(map[string]*sync.Mutex)
+	}
+	mu, ok := s.appendLocks.m[path]
+	if !ok {
+		mu = new(sync.Mutex)
+		s.appendLocks.m[path] = mu
+	}
+	return mu
 }
 
 // displayPath returns path relative to the spool directory when it
@@ -727,7 +764,10 @@ func (s *Server) previousRun(id string) (prev *core.StreamResult, prevLog string
 	if _, err := os.Stat(prevLog); err != nil {
 		return nil, "", false
 	}
-	data, hit := s.cache.Get(id)
+	// Peek, not Get: this lookup is the server talking to itself, so it
+	// must not inflate the client-facing hit counters or reorder the
+	// LRU.
+	data, hit := s.cache.Peek(id)
 	if !hit {
 		return nil, "", false
 	}

@@ -407,6 +407,13 @@ func (aw *AppendWriter) Close() error {
 			return fail(fmt.Errorf("trace: append: %w", err))
 		}
 	}
+	// The delta's bytes must be durable before any manifest can
+	// reference them: a crash after a durable manifest write but before
+	// the shard data reached disk would corrupt a previously valid set
+	// in place.
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("trace: append: %w", err))
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("trace: append: %w", err)
@@ -435,13 +442,28 @@ func (aw *AppendWriter) Close() error {
 
 	// Publish: delta shard first, manifest last, so a manifest on disk
 	// always describes complete shards (the ShardWriter discipline).
-	if err := os.Rename(tmp, finalPath); err != nil {
+	// The shard is hard-linked — not renamed — into its final name:
+	// link fails with EEXIST instead of replacing, so a concurrent
+	// append that raced past the existence check above fails here
+	// rather than silently overwriting the other session's published
+	// delta shard.
+	if err := os.Link(tmp, finalPath); err != nil {
 		os.Remove(tmp)
+		if os.IsExist(err) {
+			return fmt.Errorf("trace: append: delta shard %s already exists", final)
+		}
 		return fmt.Errorf("trace: append: %w", err)
 	}
+	os.Remove(tmp)
 	if err := writeManifest(aw.manifestPath, &m); err != nil {
 		os.Remove(finalPath)
 		return err
+	}
+	// Both directory entries (the new shard's link, the manifest's
+	// rename) must survive a crash together with the manifest content:
+	// writeManifest synced the file, this syncs the names.
+	if err := syncDir(aw.ss.Dir); err != nil {
+		return fmt.Errorf("trace: append: sync dir: %w", err)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"geosocial/internal/geo"
@@ -382,6 +383,76 @@ func TestAppendRejectsDuplicateAndEmpty(t *testing.T) {
 	}
 	if err := aw.WriteUser(u); err == nil {
 		t.Fatal("duplicate user in one generation accepted")
+	}
+}
+
+// TestConcurrentAppendSessionsExactlyOneWins: two AppendWriter sessions
+// opened at the same generation race their Close. Both target the same
+// delta shard name, so exactly one may publish; the loser must fail —
+// the shard is linked into place, never renamed over — and the winner's
+// published data must survive intact.
+func TestConcurrentAppendSessionsExactlyOneWins(t *testing.T) {
+	full := genShardDS(t, 0.03, 61)
+	dir := t.TempDir()
+	manifest, err := full.SaveShards(dir, trace.ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := maxTime(full) + 3600
+	newID := maxUserID(full) + 1
+
+	writers := make([]*trace.AppendWriter, 2)
+	for i := range writers {
+		aw, err := trace.OpenAppend(manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aw.WriteUser(onGridUser(t, full, newUserAfter(newID+i, t0))); err != nil {
+			t.Fatal(err)
+		}
+		writers[i] = aw
+	}
+
+	errs := make([]error, len(writers))
+	var wg sync.WaitGroup
+	for i, aw := range writers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = aw.Close()
+		}()
+	}
+	wg.Wait()
+
+	winner := -1
+	for i, err := range errs {
+		if err == nil {
+			if winner >= 0 {
+				t.Fatalf("both racing sessions published generation 1")
+			}
+			winner = i
+		}
+	}
+	if winner < 0 {
+		t.Fatalf("both racing sessions failed: %v", errs)
+	}
+
+	ss, err := trace.OpenShardSet(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Manifest.Generation != 1 {
+		t.Fatalf("generation %d, want 1", ss.Manifest.Generation)
+	}
+	if ss.Manifest.Users != len(full.Users)+1 {
+		t.Fatalf("manifest users %d, want %d", ss.Manifest.Users, len(full.Users)+1)
+	}
+	ds2, err := trace.MergeSets(ss)
+	if err != nil {
+		t.Fatalf("winner's delta shard does not decode: %v", err)
+	}
+	if ds2.Len() != 1 || ds2.IDs()[0] != newID+winner {
+		t.Fatalf("delta users %v, want exactly [%d]", ds2.IDs(), newID+winner)
 	}
 }
 

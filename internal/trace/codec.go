@@ -172,6 +172,18 @@ func createTemp(path string) (*os.File, error) {
 	}
 }
 
+// syncDir fsyncs a directory, making just-renamed (or just-linked)
+// entries durable. Local to trace because importing the checkpoint
+// package's SyncDir would cycle.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // sniffReader detects gzip by magic bytes (regardless of file suffix) and
 // returns a buffered reader over the uncompressed stream plus a closer
 // for the gzip layer (nil when not compressed).

@@ -306,6 +306,15 @@ func writeManifest(path string, m *Manifest) error {
 		os.Remove(tmp)
 		return fmt.Errorf("trace: write manifest: %w", err)
 	}
+	// The manifest's bytes must reach the disk before the rename can
+	// publish the name: a crash after an unsynced rename could leave
+	// the name pointing at lost content, and the manifest is the one
+	// file whose loss makes the whole set unreadable.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("trace: write manifest: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("trace: write manifest: %w", err)
