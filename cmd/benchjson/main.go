@@ -6,12 +6,22 @@
 //
 //	go test -run '^$' -bench ValidateShards -benchtime 1x . | benchjson -o BENCH_shards.json
 //	benchjson bench.txt                    # read a saved log, write stdout
+//	benchjson -compare bench/BASELINE_ingest.json BENCH_ingest.json
 //
 // Each benchmark line becomes one record: the benchmark name (with the
 // -cpu suffix split off), iteration count, ns/op, and every extra
 // metric the benchmark reported (MB/s, B/op, allocs/op, custom
 // b.ReportMetric units) keyed by unit. Non-benchmark lines are ignored,
 // so the tool can eat a whole `go test` transcript.
+//
+// With -compare the tool becomes a regression gate: the argument is a
+// baseline JSON document (a previous benchjson output), the input is
+// the current run (transcript or JSON), and the tool exits non-zero if
+// any gated metric regressed beyond -tolerance. Gated metrics are
+// "users/s" (higher is better) and "allocs/op" (lower is better, with
+// -alloc-slack absolute headroom so tiny counts don't flap); both are
+// chosen for being meaningful across runs — throughput relative to the
+// recorded baseline, allocation counts near-deterministically.
 package main
 
 import (
@@ -58,10 +68,14 @@ func main() {
 }
 
 // run executes the tool against args: zero or one input path (default
-// stdin), -o for the output path (default stdout).
+// stdin), -o for the output path (default stdout), -compare for the
+// regression-gate mode.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default stdout)")
+	compare := fs.String("compare", "", "baseline JSON to gate the input against (regression mode)")
+	tolerance := fs.Float64("tolerance", 0.25, "relative regression band for gated metrics")
+	allocSlack := fs.Float64("alloc-slack", 8, "absolute allocs/op headroom on top of the relative band")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -80,6 +94,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		in = f
 	default:
 		return fmt.Errorf("at most one input file, got %d", fs.NArg())
+	}
+
+	if *compare != "" {
+		if *out != "" {
+			return fmt.Errorf("-o and -compare are mutually exclusive")
+		}
+		if *tolerance < 0 || *tolerance >= 1 {
+			return fmt.Errorf("-tolerance must be in [0, 1), got %g", *tolerance)
+		}
+		bf, err := os.Open(*compare)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		baseline, err := loadResults(bf)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", *compare, err)
+		}
+		current, err := loadResults(in)
+		if err != nil {
+			return fmt.Errorf("current input: %w", err)
+		}
+		return Compare(baseline, current, *tolerance, *allocSlack, stdout)
 	}
 
 	results, err := Parse(in)
@@ -102,6 +139,135 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// loadResults reads benchmark results from r: a benchjson JSON document
+// (first non-space byte '[') or a raw `go test -bench` transcript.
+func loadResults(r io.Reader) ([]Result, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("empty input")
+		}
+		if b == ' ' || b == '\t' || b == '\n' || b == '\r' {
+			continue
+		}
+		if err := br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		if b == '[' {
+			var results []Result
+			if err := json.NewDecoder(br).Decode(&results); err != nil {
+				return nil, fmt.Errorf("decode results JSON: %w", err)
+			}
+			return results, nil
+		}
+		results, err := Parse(br)
+		if err != nil {
+			return nil, err
+		}
+		if len(results) == 0 {
+			return nil, fmt.Errorf("no benchmark lines in input")
+		}
+		return results, nil
+	}
+}
+
+// gatedMetrics are the metrics Compare enforces, with their direction.
+// Throughput is meaningful relative to the machine that recorded the
+// baseline; allocation counts are near-deterministic everywhere.
+var gatedMetrics = []struct {
+	unit         string
+	higherBetter bool
+}{
+	{"users/s", true},
+	{"allocs/op", false},
+}
+
+// Compare gates current against baseline: for every baseline record,
+// the matching current record (by name) must exist and its gated
+// metrics must not regress beyond the relative tolerance (plus, for
+// allocs/op, allocSlack absolute headroom). A human-readable report
+// goes to w; any regression makes the returned error non-nil.
+func Compare(baseline, current []Result, tolerance, allocSlack float64, w io.Writer) error {
+	// Index the current run by name, keeping the best value per metric
+	// across repeated runs of the same benchmark (-count > 1).
+	type best struct{ metrics map[string]float64 }
+	cur := make(map[string]best)
+	for _, r := range current {
+		b, ok := cur[r.Name]
+		if !ok {
+			b = best{metrics: make(map[string]float64)}
+		}
+		for _, gm := range gatedMetrics {
+			v, has := r.Metrics[gm.unit]
+			if !has {
+				continue
+			}
+			old, seen := b.metrics[gm.unit]
+			if !seen || (gm.higherBetter && v > old) || (!gm.higherBetter && v < old) {
+				b.metrics[gm.unit] = v
+			}
+		}
+		cur[r.Name] = b
+	}
+
+	var regressions []string
+	checked := 0
+	for _, base := range baseline {
+		c, ok := cur[base.Name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in baseline, missing from current run", base.Name))
+			continue
+		}
+		for _, gm := range gatedMetrics {
+			bv, has := base.Metrics[gm.unit]
+			if !has {
+				continue
+			}
+			cv, has := c.metrics[gm.unit]
+			if !has {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: baseline records %s, current run does not", base.Name, gm.unit))
+				continue
+			}
+			checked++
+			var bad bool
+			var limit float64
+			if gm.higherBetter {
+				limit = bv * (1 - tolerance)
+				bad = cv < limit
+			} else {
+				limit = bv*(1+tolerance) + allocSlack
+				bad = cv > limit
+			}
+			status := "ok"
+			if bad {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4g vs baseline %.4g (limit %.4g)", base.Name, gm.unit, cv, bv, limit))
+			}
+			fmt.Fprintf(w, "%-12s %s %s: %.4g (baseline %.4g, limit %.4g)\n",
+				status, base.Name, gm.unit, cv, bv, limit)
+		}
+	}
+	if checked == 0 && len(regressions) == 0 {
+		return fmt.Errorf("baseline has no gated metrics (%v)", func() []string {
+			units := make([]string, len(gatedMetrics))
+			for i, gm := range gatedMetrics {
+				units[i] = gm.unit
+			}
+			return units
+		}())
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "benchjson: %d gated metric(s) within tolerance %.0f%%\n", checked, tolerance*100)
+	return nil
 }
 
 // Parse extracts every benchmark result line from a `go test -bench`

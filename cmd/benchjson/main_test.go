@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -81,5 +82,110 @@ func TestRunFileArgToStdout(t *testing.T) {
 func TestRunRejectsEmptyInput(t *testing.T) {
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// writeBaseline writes a baseline JSON fixture and returns its path.
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	raw, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// gateBaseline is the fixture the -compare self-tests gate against.
+func gateBaseline() []Result {
+	return []Result{
+		{Name: "BenchmarkValidateShards/file", Iterations: 3,
+			Metrics: map[string]float64{"users/s": 400}},
+		{Name: "BenchmarkCodecDecodeFrames", Iterations: 100,
+			Metrics: map[string]float64{"allocs/op": 2}},
+	}
+}
+
+// currentTranscript renders a synthetic current run at the given
+// throughput and allocation count.
+func currentTranscript(usersPerSec float64, allocs int) string {
+	return fmt.Sprintf("goos: linux\n"+
+		"BenchmarkValidateShards/file-8 \t 3\t 1000 ns/op\t %.2f users/s\n"+
+		"BenchmarkCodecDecodeFrames-8 \t 100\t 2000 ns/op\t 64 B/op\t %d allocs/op\n"+
+		"PASS\n", usersPerSec, allocs)
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := writeBaseline(t, gateBaseline())
+	var out bytes.Buffer
+	// 10% below baseline throughput, same allocs: inside the 25% band.
+	err := run([]string{"-compare", base}, strings.NewReader(currentTranscript(360, 2)), &out)
+	if err != nil {
+		t.Fatalf("in-tolerance run gated: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("report lacks ok lines:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnThroughputRegression(t *testing.T) {
+	// The synthetic regression fixture: throughput collapses to half the
+	// baseline, far outside the 25% tolerance band. The gate must fail.
+	base := writeBaseline(t, gateBaseline())
+	var out bytes.Buffer
+	err := run([]string{"-compare", base}, strings.NewReader(currentTranscript(200, 2)), &out)
+	if err == nil {
+		t.Fatalf("50%% throughput regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "users/s") {
+		t.Errorf("regression error does not name the metric: %v", err)
+	}
+}
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	base := writeBaseline(t, gateBaseline())
+	var out bytes.Buffer
+	// 40 allocs/op vs baseline 2: beyond 2*(1+0.25)+8.
+	err := run([]string{"-compare", base}, strings.NewReader(currentTranscript(400, 40)), &out)
+	if err == nil {
+		t.Fatalf("allocation regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("regression error does not name the metric: %v", err)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := writeBaseline(t, gateBaseline())
+	var out bytes.Buffer
+	only := "BenchmarkValidateShards/file-8 \t 3\t 1000 ns/op\t 400.00 users/s\n"
+	err := run([]string{"-compare", base}, strings.NewReader(only), &out)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("vanished benchmark not flagged: %v", err)
+	}
+}
+
+func TestCompareAcceptsJSONCurrent(t *testing.T) {
+	base := writeBaseline(t, gateBaseline())
+	cur := writeBaseline(t, gateBaseline()) // identical run
+	f, err := os.Open(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-compare", base}, f, &out); err != nil {
+		t.Fatalf("identical JSON run gated: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareRejectsOutputFlag(t *testing.T) {
+	base := writeBaseline(t, gateBaseline())
+	err := run([]string{"-compare", base, "-o", "x.json"}, strings.NewReader(""), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("-compare with -o accepted")
 	}
 }

@@ -11,6 +11,7 @@
 //	geoserve -spool ./spool -addr 127.0.0.1:9090
 //	geoserve -spool ./spool -workers 8 -max-jobs 4 -cache 128
 //	geoserve -spool ./spool -poll 500ms           # fast spool pickup
+//	geoserve -spool ./spool -debug-addr 127.0.0.1:6060  # pprof endpoint
 //
 // Endpoints (full reference with curl examples in docs/API.md):
 //
@@ -59,6 +60,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -103,6 +105,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ckpts        = fs.Bool("checkpoints", false, "checkpoint shard-set validations under the spool so interrupted jobs resume")
 		ckptsMax     = fs.Int("checkpoints-max", 8, "max retained checkpoint run directories, oldest pruned first (0 = unbounded)")
 		ckptsStale   = fs.Duration("checkpoint-stale", 0, "age after which a crashed run's checkpoint temp files are swept (0 = default)")
+		debugAddr    = fs.String("debug-addr", "", "serve net/http/pprof on this address (off by default; bind loopback, the endpoint is unauthenticated)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -135,6 +138,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		// Profiling lives on its own listener so the public API surface
+		// never exposes it; the handlers sit on http.DefaultServeMux,
+		// where the net/http/pprof import registered them.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("listen -debug-addr: %w", err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(stdout, "geoserve: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -310,6 +310,29 @@ func TestSpoolPickup(t *testing.T) {
 	}
 }
 
+// TestDebugAddrServesPprof pins the -debug-addr contract: the pprof
+// endpoint lives on its own listener, and the public API listener never
+// exposes /debug/pprof.
+func TestDebugAddrServesPprof(t *testing.T) {
+	baseURL, out, shutdown := startServer(t, "-debug-addr", "127.0.0.1:0")
+	defer shutdown()
+
+	pprofRE := regexp.MustCompile(`pprof on http://([^/\s]+)`)
+	m := pprofRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no pprof banner in output:\n%s", out.String())
+	}
+	body, resp := getBody(t, "http://"+m[1]+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof cmdline: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	// The public listener must not expose the profiler.
+	_, resp = getBody(t, baseURL+"/debug/pprof/")
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("public API listener serves /debug/pprof")
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	ctx := context.Background()
 	if err := run(ctx, []string{"-nope"}, io.Discard); err != errUsage {

@@ -15,6 +15,7 @@
 //	geovalidate -in primary.bin.gz -outcomes out.gso   # + columnar outcome log
 //	geovalidate -in primary.manifest.json -checkpoint ./ckpt   # resumable run
 //	geovalidate -in grown.manifest.json -update-from prev.json -prev-outcomes prev.gso
+//	geovalidate -in primary.bin.gz -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The dataset encoding (JSON or binary, gzip or not) is detected from
 // magic bytes, not the file name. Binary datasets are validated one
@@ -63,6 +64,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"geosocial"
@@ -101,6 +104,8 @@ func run(args []string, stdout io.Writer) error {
 		ckStale  = fs.Duration("checkpoint-stale", 0, "age after which a crashed run's checkpoint temp files are swept (0 = default)")
 		updFrom  = fs.String("update-from", "", "previous run's -json result document; revalidate only users the appended generations touched")
 		prevLog  = fs.String("prev-outcomes", "", "previous run's outcome log, required with -update-from (supplies the superseded per-user records)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the validation here (inspect with go tool pprof)")
+		memProf  = fs.String("memprofile", "", "write an allocation profile here after the validation completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -110,6 +115,32 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in dataset file (generate one with geogen)")
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("create -memprofile: %w", err)
+		}
+		// Written on the way out so the profile covers the whole run;
+		// an extra GC first makes the live-heap numbers meaningful.
+		defer func() {
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("write -memprofile: %v", err)
+			}
+		}()
 	}
 	opts := geosocial.StreamOptions{
 		Params:          core.Params{Alpha: *alpha, Beta: *beta},

@@ -94,6 +94,26 @@ func TestRunRequiresInput(t *testing.T) {
 	}
 }
 
+func TestRunWritesProfiles(t *testing.T) {
+	path := genDataset(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 // genShardSet writes the same dataset as a single binary file and as a
 // 3-shard corpus, returning both paths.
 func genShardSet(t *testing.T) (binPath, manifestPath string) {

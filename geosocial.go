@@ -671,6 +671,16 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 		}
 		return nil
 	}
+	// Recycle hook: once account has folded a user into the aggregates,
+	// nothing downstream holds the record (stats are counts, outcome
+	// records copy what they keep), so it goes back to its source's pool
+	// for the next decode to fill in place. Only sources that opt in via
+	// trace.UserRecycler participate — generational fold sources retain
+	// users across shards and deliberately do not implement it.
+	recyclers := make([]trace.UserRecycler, len(live))
+	for j, i := range live {
+		recyclers[j], _ = srcs[i].(trace.UserRecycler)
+	}
 	err := par.MergeStreams(opts.Workers, next,
 		func(j, _ int, fr trace.Frame) (outcomeCls, error) {
 			u, err := srcs[live[j]].DecodeFrame(fr)
@@ -691,6 +701,9 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 						return err
 					}
 				}
+			}
+			if recyclers[j] != nil {
+				recyclers[j].RecycleUser(oc.out.User)
 			}
 			return commitReady()
 		})

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"geosocial/internal/trace"
+)
+
+// TestMatchIntoSteadyStateAllocs pins the matching hot path: once a
+// VisitIndex and a recycled Result have been through one warm-up call,
+// repeated MatchInto calls must stay within one allocation per call
+// (the budget leaves headroom; the current implementation needs zero).
+func TestMatchIntoSteadyStateAllocs(t *testing.T) {
+	vs := []trace.Visit{
+		visit(0, 10, 30),
+		visit(120, 40, 55),
+		visit(900, 70, 95),
+		visit(40, 100, 130),
+	}
+	cks := trace.CheckinTrace{
+		checkin(10, 15),
+		checkin(130, 42),
+		checkin(2500, 60), // extraneous: nothing within α
+		checkin(890, 80),
+		checkin(35, 110),
+		checkin(45, 112), // conflicting claim on the same visit
+	}
+	ix := NewVisitIndex(vs, DefaultParams().Alpha)
+	p := DefaultParams()
+
+	var res Result
+	if err := ix.MatchInto(&res, cks, p); err != nil {
+		t.Fatal(err)
+	}
+	if res.Honest() == 0 || res.Extraneous() == 0 {
+		t.Fatalf("fixture produced no interesting partition: %d honest, %d extraneous, %d missing",
+			res.Honest(), res.Extraneous(), res.Missing())
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := ix.MatchInto(&res, cks, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("steady-state MatchInto: %v allocs per run, want <= 1", allocs)
+	}
+}

@@ -138,7 +138,20 @@ func MatchUser(checkins trace.CheckinTrace, vs []trace.Visit, p Params) (*Result
 type VisitIndex struct {
 	vs   []trace.Visit
 	grid *geo.GridIndex
-	buf  []int
+	// Reusable per-Match scratch (what makes repeated Match calls on one
+	// index allocation-free in steady state, and the index single-threaded).
+	buf    []int
+	claims []claim
+	winner []int32
+}
+
+// claim is one checkin's provisional claim on a visit (Step 2 output,
+// before conflict resolution).
+type claim struct {
+	checkin int
+	visit   int
+	deltaT  time.Duration
+	dist    float64
 }
 
 // NewVisitIndex builds the index with the given grid cell size in meters
@@ -152,26 +165,49 @@ func NewVisitIndex(vs []trace.Visit, cellMeters float64) *VisitIndex {
 }
 
 // Match runs the §4.1 matching of checkins against the indexed visits.
-// The index is not safe for concurrent Match calls (it reuses an internal
-// candidate buffer); build one index per goroutine.
+// The index is not safe for concurrent Match calls (it reuses internal
+// scratch buffers); build one index per goroutine.
 func (ix *VisitIndex) Match(checkins trace.CheckinTrace, p Params) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	res := &Result{}
+	if err := ix.MatchInto(res, checkins, p); err != nil {
 		return nil, err
 	}
+	return res, nil
+}
+
+// MatchInto is Match writing its result into res, reusing res's slices —
+// the steady-state allocation-free form for hot loops that recycle a
+// Result across users or parameter settings. res must not be read
+// concurrently with the call; its previous contents are overwritten.
+func (ix *VisitIndex) MatchInto(res *Result, checkins trace.CheckinTrace, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	vs := ix.vs
-	res := &Result{}
+	res.Matches = res.Matches[:0]
+	res.ExtraneousIdx = res.ExtraneousIdx[:0]
+	res.MissingIdx = res.MissingIdx[:0]
+	res.honestBits = resetBools(res.honestBits, len(checkins))
+	res.visitBits = resetBools(res.visitBits, len(vs))
+	ix.claims = ix.claims[:0]
+	if cap(ix.winner) < len(vs) {
+		ix.winner = make([]int32, len(vs))
+	}
+	ix.winner = ix.winner[:len(vs)]
+	for i := range ix.winner {
+		ix.winner[i] = -1
+	}
 
 	// Step 1 + Step 2: provisional best visit per checkin. Candidate scan
 	// order is whatever the grid yields, so ΔT ties are broken explicitly:
 	// the lowest visit index (the earliest detected visit) wins. The §4.1
 	// text does not specify a tie rule; index order is the deterministic
 	// choice that cannot depend on grid geometry.
-	type claim struct {
-		checkin int
-		deltaT  time.Duration
-		dist    float64
-	}
-	claims := make(map[int][]claim) // visit -> claiming checkins
+	//
+	// Conflict resolution is folded into the same pass: ix.winner tracks,
+	// per visit, the claim index of the geographically closest claiming
+	// checkin so far (§4.1 — ties keep the earliest checkin, matching the
+	// strict < comparison the claim-list scan used).
 	for ci, c := range checkins {
 		ix.buf = ix.grid.Within(c.Loc, p.Alpha, ix.buf[:0])
 		bestVisit := -1
@@ -189,45 +225,58 @@ func (ix *VisitIndex) Match(checkins trace.CheckinTrace, p Params) (*Result, err
 			}
 		}
 		if bestVisit >= 0 {
-			claims[bestVisit] = append(claims[bestVisit], claim{ci, bestDT, bestDist})
+			k := int32(len(ix.claims))
+			ix.claims = append(ix.claims, claim{checkin: ci, visit: bestVisit, deltaT: bestDT, dist: bestDist})
+			if w := ix.winner[bestVisit]; w < 0 || bestDist < ix.claims[w].dist {
+				ix.winner[bestVisit] = k
+			}
 		}
 	}
 
-	// Conflict resolution: a visit claimed by several checkins keeps only
-	// the geographically closest one (§4.1); the rest become extraneous.
-	matchedCheckin := make([]bool, len(checkins))
-	matchedVisit := make([]bool, len(vs))
-	for vi, cl := range claims {
-		win := cl[0]
-		for _, c := range cl[1:] {
-			if c.dist < win.dist {
-				win = c
-			}
+	// Emit surviving matches. Claims are in ascending checkin order and
+	// each checkin claims at most one visit, so the result is already
+	// sorted by CheckinIdx — the same order the deterministic sort
+	// produced before conflict resolution was single-pass.
+	for k := range ix.claims {
+		cl := &ix.claims[k]
+		if ix.winner[cl.visit] != int32(k) {
+			continue
 		}
 		res.Matches = append(res.Matches, Match{
-			CheckinIdx: win.checkin,
-			VisitIdx:   vi,
-			DeltaT:     win.deltaT,
-			Dist:       win.dist,
+			CheckinIdx: cl.checkin,
+			VisitIdx:   cl.visit,
+			DeltaT:     cl.deltaT,
+			Dist:       cl.dist,
 		})
-		matchedCheckin[win.checkin] = true
-		matchedVisit[vi] = true
+		res.honestBits[cl.checkin] = true
+		res.visitBits[cl.visit] = true
 	}
 
 	for ci := range checkins {
-		if !matchedCheckin[ci] {
+		if !res.honestBits[ci] {
 			res.ExtraneousIdx = append(res.ExtraneousIdx, ci)
 		}
 	}
 	for vi := range vs {
-		if !matchedVisit[vi] {
+		if !res.visitBits[vi] {
 			res.MissingIdx = append(res.MissingIdx, vi)
 		}
 	}
-	res.honestBits = matchedCheckin
-	res.visitBits = matchedVisit
 	sortMatches(res)
-	return res, nil
+	return nil
+}
+
+// resetBools returns b resized to n with every element false, reusing
+// capacity when possible.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 // sortMatches orders the result deterministically by checkin index.

@@ -1,0 +1,143 @@
+package geo
+
+import "math"
+
+// This file implements certified fast bounds on the haversine distance:
+// cheap expressions LB and UB with LB <= Distance(a,b) <= UB that need no
+// trigonometry beyond latitude cosines (which callers precompute once per
+// point). Threshold comparisons — "is Distance <= radius?" — are decided
+// by the bounds alone for all but borderline pairs, where the exact
+// haversine is still the decider. Decisions are therefore bit-identical
+// to calling Distance directly; the bounds only skip work, never change
+// an accept/reject outcome.
+//
+// Derivation. Distance computes d = 2R·asin(√h) with
+// h = sin²(Δφ/2) + cosφ₁·cosφ₂·sin²(Δλ/2) (clamped to 1). Writing
+// x = |Δφ|/2, y = |Δλ|/2 and cc = cosφ₁·cosφ₂ (both cosines are
+// nonnegative for latitudes in [-90°, 90°]):
+//
+//   - Lower bound: asin(s) >= s and sin(t) >= t·(1 - t²/6) for t >= 0
+//     (alternating Taylor series; the truncation t·(1-t²/6) is also
+//     nonnegative throughout t <= π). Hence
+//       d >= 2R·√( sl(x)² + ccLo·sl(y)² ),  sl(t) = max(0, t - t³/6).
+//   - Upper bound: sin(t) <= t and asin(s) <= s + s³ for s <= 1/2
+//     (asin s = s + s³/6 + 3s⁵/40 + … <= s + s³ on [0, ½]). Hence with
+//     hu = x² + ccHi·y², whenever √hu <= ½:
+//       d <= 2R·(√hu + √hu³).
+//     For √hu > ½ (separations beyond ~6600 km) no finite upper bound is
+//     claimed; every radius used in this repository is far smaller, so
+//     the accept shortcut simply never fires there.
+//
+// Both bounds are scaled by (1 ∓ boundSlack) so that floating-point
+// rounding in their evaluation — and in Distance itself — can never flip
+// the sandwich: the mathematical margin of the series truncations is
+// zero only at Δ = 0, while accumulated rounding across the ~15 flops
+// involved stays below 1e-14 relative; boundSlack = 1e-12 dominates it
+// by two orders of magnitude. TestDistBoundsSandwich sweeps random E7
+// pairs (including near-threshold adversarial radii) to enforce this.
+
+// boundSlack is the relative safety margin applied to the certified
+// bounds to absorb floating-point rounding (see file comment).
+const boundSlack = 1e-12
+
+// MetersPerE7Lat is the meridional length in meters of one E7 latitude
+// unit (1e-7 degree). Pure latitude separation bounds the great-circle
+// distance from below: d >= R·|Δφ|, so two points whose E7 latitudes
+// differ by k units are at least ~(k-1)·MetersPerE7Lat meters apart
+// (one unit of slack covers rounding to the E7 grid).
+const MetersPerE7Lat = EarthRadius * math.Pi / 180 * 1e-7
+
+// E7 returns the coordinate (in degrees) rounded to fixed-point E7
+// (units of 1e-7 degree), the grid the binary codec stores coordinates
+// on. Valid latitudes and longitudes fit comfortably in int32.
+func E7(deg float64) int32 { return int32(math.Round(deg * 1e7)) }
+
+// CosLat returns the cosine of p's latitude in radians — the only
+// per-point trigonometry the fast bounds need. Index structures
+// precompute it once per stored point.
+func CosLat(p LatLon) float64 { return math.Cos(deg2rad(p.Lat)) }
+
+// MaxE7LatDiff returns the largest E7 latitude difference (in units)
+// that is NOT certainly farther than radius meters: any pair whose E7
+// latitudes differ by more than the returned value has great-circle
+// distance strictly greater than radius, regardless of longitude. This
+// is the exact integer bounding-box prefilter — a single integer
+// compare per candidate.
+func MaxE7LatDiff(radius float64) int32 {
+	if radius < 0 {
+		return 0
+	}
+	f := radius / (MetersPerE7Lat * (1 - boundSlack))
+	if f >= math.MaxInt32-2 {
+		return math.MaxInt32
+	}
+	// +2: one unit for E7 rounding of each endpoint, one for the float
+	// truncation here. Rejection beyond this is certified; acceptance
+	// inside it decides nothing (later stages do).
+	return int32(f) + 2
+}
+
+// distBounds returns certified bounds lb <= Distance(a,b) <= ub given
+// the absolute coordinate deltas in degrees and an interval
+// [ccLo, ccHi] bracketing cosφ₁·cosφ₂. ccLo must be >= 0. ub may be
+// +Inf for separations beyond the small-angle regime.
+func distBounds(absDLat, absDLon, ccLo, ccHi float64) (lb, ub float64) {
+	x := deg2rad(absDLat) / 2
+	y := deg2rad(absDLon) / 2
+
+	sx := x * (1 - x*x/6)
+	if sx < 0 {
+		sx = 0
+	}
+	sy := y * (1 - y*y/6)
+	if sy < 0 {
+		sy = 0
+	}
+	hl := sx*sx + ccLo*sy*sy
+	if hl > 1 {
+		hl = 1
+	}
+	lb = 2 * EarthRadius * math.Sqrt(hl) * (1 - boundSlack)
+
+	hu := x*x + ccHi*y*y
+	if hu > 0.25 {
+		return lb, math.Inf(1)
+	}
+	s := math.Sqrt(hu)
+	ub = 2 * EarthRadius * (s + s*s*s) * (1 + boundSlack)
+	return lb, ub
+}
+
+// DistBounds returns certified bounds lb <= Distance(a, b) <= ub, where
+// cc is the exact product CosLat(a)*CosLat(b). ub may be +Inf beyond
+// the small-angle regime (separations over ~6600 km).
+func DistBounds(a, b LatLon, cc float64) (lb, ub float64) {
+	return distBounds(math.Abs(a.Lat-b.Lat), math.Abs(a.Lon-b.Lon), cc, cc)
+}
+
+// WithinRadius reports whether Distance(a, b) <= radius, with the exact
+// haversine evaluated only when the certified fast bounds cannot decide.
+// cosA must be CosLat(a); the other latitude's cosine is bracketed via
+// |cos u - cos v| <= |u - v|, so callers pay one cosine per anchor point
+// instead of one per comparison. The result is bit-identical to
+// Distance(a, b) <= radius for all inputs.
+func WithinRadius(a, b LatLon, cosA, radius float64) bool {
+	absDLat := math.Abs(a.Lat - b.Lat)
+	dphi := deg2rad(absDLat)
+	ccLo := cosA - dphi
+	if ccLo < 0 {
+		ccLo = 0
+	}
+	ccHi := cosA + dphi
+	if ccHi > 1 {
+		ccHi = 1
+	}
+	lb, ub := distBounds(absDLat, math.Abs(a.Lon-b.Lon), cosA*ccLo, cosA*ccHi)
+	if lb > radius {
+		return false
+	}
+	if ub <= radius {
+		return true
+	}
+	return Distance(a, b) <= radius
+}

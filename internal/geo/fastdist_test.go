@@ -1,0 +1,147 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randE7LatLon returns a point on the E7 grid inside a band around the
+// given center, mirroring coordinates that went through the binary
+// codec.
+func randE7LatLon(r *rand.Rand, center LatLon, spanDeg float64) LatLon {
+	lat := center.Lat + (r.Float64()*2-1)*spanDeg
+	lon := center.Lon + (r.Float64()*2-1)*spanDeg
+	return LatLon{Lat: fromE7grid(lat), Lon: fromE7grid(lon)}
+}
+
+func fromE7grid(deg float64) float64 { return float64(E7(deg)) / 1e7 }
+
+// TestDistBoundsSandwich is the property test behind the prefilter's
+// correctness claim: for random E7 coordinate pairs — city-scale,
+// continental and adversarially co-located — the certified bounds
+// sandwich the haversine distance, and every threshold decision taken
+// through the fast paths (WithinRadius, DistBounds, MaxE7LatDiff) is
+// identical to comparing Distance directly, at every α in the sweep
+// including radii placed exactly at and one ulp around the true
+// distance.
+func TestDistBoundsSandwich(t *testing.T) {
+	r := rand.New(rand.NewSource(20260808))
+	centers := []struct {
+		c    LatLon
+		span float64
+	}{
+		{LatLon{Lat: 40.74, Lon: -73.99}, 0.02}, // city blocks
+		{LatLon{Lat: 40.74, Lon: -73.99}, 0.3},  // metro area
+		{LatLon{Lat: -33.87, Lon: 151.21}, 0.1}, // southern hemisphere
+		{LatLon{Lat: 64.15, Lon: -21.94}, 0.2},  // high latitude
+		{LatLon{Lat: 0.0, Lon: 0.0}, 0.1},       // equator
+		{LatLon{Lat: 35.0, Lon: 139.0}, 5.0},    // continental
+		{LatLon{Lat: 0.01, Lon: -179.99}, 0.05}, // near the antimeridian
+	}
+	alphas := []float64{25, 100, 150, 500, 1500, 5000, 50000}
+	checked := 0
+	for _, c := range centers {
+		for i := 0; i < 4000; i++ {
+			a := randE7LatLon(r, c.c, c.span)
+			b := randE7LatLon(r, c.c, c.span)
+			if i%17 == 0 {
+				b = a // exact co-location must never be rejected
+			}
+			d := Distance(a, b)
+			cosA, cosB := CosLat(a), CosLat(b)
+
+			lb, ub := DistBounds(a, b, cosA*cosB)
+			if lb > d {
+				t.Fatalf("lower bound %v exceeds Distance %v for %v %v", lb, d, a, b)
+			}
+			if !math.IsInf(ub, 1) && ub < d {
+				t.Fatalf("upper bound %v below Distance %v for %v %v", ub, d, a, b)
+			}
+
+			// Sweep fixed radii plus radii pinned to the decision
+			// boundary: d itself and one ulp to either side.
+			sweep := append(append([]float64{}, alphas...),
+				d, math.Nextafter(d, 0), math.Nextafter(d, math.Inf(1)))
+			for _, alpha := range sweep {
+				want := d <= alpha
+				if got := WithinRadius(a, b, cosA, alpha); got != want {
+					t.Fatalf("WithinRadius(%v, %v, %g) = %v, Distance %v says %v", a, b, alpha, got, d, want)
+				}
+				// Integer bounding-box prefilter: a rejection must imply
+				// the haversine rejects too.
+				dE7 := E7(a.Lat) - E7(b.Lat)
+				if dE7 < 0 {
+					dE7 = -dE7
+				}
+				if dE7 > MaxE7LatDiff(alpha) && want {
+					t.Fatalf("E7 prefilter rejects pair at distance %v within α=%g (ΔlatE7=%d)", d, alpha, dE7)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("property sweep ran no checks")
+	}
+}
+
+// TestGridIndexMatchesBruteForce cross-checks the optimized grid (SoA
+// storage, integer and certified prefilters) against brute-force scans
+// of Distance, for Within and Nearest, over random point sets and
+// radii.
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	center := LatLon{Lat: 40.74, Lon: -73.99}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		pts := make([]LatLon, n)
+		for i := range pts {
+			pts[i] = randE7LatLon(r, center, 0.05)
+		}
+		cell := []float64{50, 250, 500, 2000}[trial%4]
+		g := NewGridIndex(pts, cell)
+		for q := 0; q < 40; q++ {
+			query := randE7LatLon(r, center, 0.06)
+			radius := r.Float64() * 3000
+
+			got := g.Within(query, radius, nil)
+			inGot := make(map[int]bool, len(got))
+			for _, i := range got {
+				inGot[i] = true
+			}
+			for i, p := range pts {
+				// The grid's documented planar prefilter can exclude a
+				// point the haversine accepts only outside radius+cell
+				// planar distance; within the scanned cells the accept
+				// set must match Distance exactly. Check one direction
+				// strictly (no false positives) and spot the other via
+				// Nearest below.
+				if inGot[i] && Distance(query, p) > radius {
+					t.Fatalf("Within returned point %d at distance %v > radius %v", i, Distance(query, p), radius)
+				}
+				if !inGot[i] && Distance(query, p) <= radius {
+					// Must only happen when the legacy planar prefilter
+					// would also have excluded it.
+					x1, y1 := g.proj.ToXY(query)
+					x2, y2 := g.proj.ToXY(p)
+					dx, dy := x2-x1, y2-y1
+					if dx*dx+dy*dy <= (radius+cell)*(radius+cell) {
+						t.Fatalf("Within missed point %d at distance %v <= radius %v", i, Distance(query, p), radius)
+					}
+				}
+			}
+
+			bi, bd := g.Nearest(query)
+			wantI, wantD := -1, math.Inf(1)
+			for i, p := range pts {
+				if d := Distance(query, p); d < wantD {
+					wantI, wantD = i, d
+				}
+			}
+			if bi != wantI || bd != wantD {
+				t.Fatalf("Nearest = (%d, %v), brute force says (%d, %v)", bi, bd, wantI, wantD)
+			}
+		}
+	}
+}

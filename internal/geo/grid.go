@@ -11,14 +11,34 @@ import "math"
 // equirectangular projection; a radius query scans only the cells
 // overlapping the query disk and verifies candidates with an exact
 // distance check.
+//
+// Storage is struct-of-arrays: point indices grouped cell by cell in one
+// flat slice (order), with a small span per occupied cell, plus per-point
+// projected coordinates, E7 latitudes and latitude cosines precomputed at
+// build time. Queries therefore walk contiguous arrays and decide most
+// candidates with integer and certified fast-bound tests (see
+// fastdist.go), calling the trigonometric haversine only for borderline
+// candidates — results are bit-identical to checking Distance directly.
 type GridIndex struct {
-	proj  *Projection
-	cell  float64
-	cells map[gridKey][]int32
-	pts   []LatLon
+	proj *Projection
+	cell float64
+	pts  []LatLon
+
+	spans  map[gridKey]cellSpan
+	order  []int32   // point indices grouped by cell, ascending within a cell
+	px, py []float64 // projected planar meters per point
+	cosLat []float64 // CosLat per point
+	latE7  []int32   // E7 latitude per point
+
+	// Occupied-cell extent, precomputed so Nearest can bound its ring
+	// expansion in O(1) instead of scanning every cell per query.
+	minCX, maxCX, minCY, maxCY int32
 }
 
 type gridKey struct{ cx, cy int32 }
+
+// cellSpan is a [start, end) range into GridIndex.order.
+type cellSpan struct{ start, end int32 }
 
 // NewGridIndex builds an index over pts with the given cell size in
 // meters. cellMeters should be on the order of the typical query radius;
@@ -32,14 +52,62 @@ func NewGridIndex(pts []LatLon, cellMeters float64) *GridIndex {
 		origin = BoundsOf(pts).Center()
 	}
 	g := &GridIndex{
-		proj:  NewProjection(origin),
-		cell:  cellMeters,
-		cells: make(map[gridKey][]int32, len(pts)/4+1),
-		pts:   append([]LatLon(nil), pts...),
+		proj: NewProjection(origin),
+		cell: cellMeters,
+		pts:  append([]LatLon(nil), pts...),
 	}
+	n := len(g.pts)
+	g.px = make([]float64, n)
+	g.py = make([]float64, n)
+	g.cosLat = make([]float64, n)
+	g.latE7 = make([]int32, n)
+	g.order = make([]int32, n)
+	keys := make([]gridKey, n)
+	counts := make(map[gridKey]int32, n/4+1)
 	for i, p := range g.pts {
-		k := g.keyFor(p)
-		g.cells[k] = append(g.cells[k], int32(i))
+		x, y := g.proj.ToXY(p)
+		g.px[i], g.py[i] = x, y
+		g.cosLat[i] = CosLat(p)
+		g.latE7[i] = E7(p.Lat)
+		k := gridKey{cx: int32(math.Floor(x / g.cell)), cy: int32(math.Floor(y / g.cell))}
+		keys[i] = k
+		counts[k]++
+		if i == 0 {
+			g.minCX, g.maxCX = k.cx, k.cx
+			g.minCY, g.maxCY = k.cy, k.cy
+			continue
+		}
+		if k.cx < g.minCX {
+			g.minCX = k.cx
+		}
+		if k.cx > g.maxCX {
+			g.maxCX = k.cx
+		}
+		if k.cy < g.minCY {
+			g.minCY = k.cy
+		}
+		if k.cy > g.maxCY {
+			g.maxCY = k.cy
+		}
+	}
+	// Assign each occupied cell a contiguous span, then fill it using the
+	// span end as a cursor. Points land in ascending index order within
+	// their cell because the fill walks points in order.
+	g.spans = make(map[gridKey]cellSpan, len(counts))
+	var off int32
+	for i := 0; i < n; i++ {
+		k := keys[i]
+		if _, ok := g.spans[k]; !ok {
+			g.spans[k] = cellSpan{start: off, end: off}
+			off += counts[k]
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := keys[i]
+		sp := g.spans[k]
+		g.order[sp.end] = int32(i)
+		sp.end++
+		g.spans[k] = sp
 	}
 	return g
 }
@@ -63,19 +131,39 @@ func (g *GridIndex) Within(q LatLon, radius float64, dst []int) []int {
 		return dst
 	}
 	qx, qy := g.proj.ToXY(q)
+	cosQ := CosLat(q)
+	qLatE7 := E7(q.Lat)
+	maxDLat := MaxE7LatDiff(radius)
+	planar := (radius + g.cell) * (radius + g.cell)
 	r := int32(math.Ceil(radius / g.cell))
 	ck := g.keyFor(q)
 	for cy := ck.cy - r; cy <= ck.cy+r; cy++ {
 		for cx := ck.cx - r; cx <= ck.cx+r; cx++ {
-			for _, idx := range g.cells[gridKey{cx, cy}] {
-				p := g.pts[idx]
-				// Cheap planar prefilter before the exact test.
-				px, py := g.proj.ToXY(p)
-				dx, dy := px-qx, py-qy
-				if dx*dx+dy*dy > (radius+g.cell)*(radius+g.cell) {
+			sp, ok := g.spans[gridKey{cx, cy}]
+			if !ok {
+				continue
+			}
+			for _, idx := range g.order[sp.start:sp.end] {
+				// Integer bounding-box reject: certified farther than
+				// radius on latitude separation alone.
+				dE7 := g.latE7[idx] - qLatE7
+				if dE7 < 0 {
+					dE7 = -dE7
+				}
+				if dE7 > maxDLat {
 					continue
 				}
-				if Distance(q, p) <= radius {
+				// Cheap planar prefilter before the exact test.
+				dx, dy := g.px[idx]-qx, g.py[idx]-qy
+				if dx*dx+dy*dy > planar {
+					continue
+				}
+				p := g.pts[idx]
+				lb, ub := DistBounds(q, p, cosQ*g.cosLat[idx])
+				if lb > radius {
+					continue
+				}
+				if ub <= radius || Distance(q, p) <= radius {
 					dst = append(dst, int(idx))
 				}
 			}
@@ -93,23 +181,16 @@ func (g *GridIndex) Nearest(q LatLon) (int, float64) {
 	}
 	best := -1
 	bestDist := math.Inf(1)
+	cosQ := CosLat(q)
 	ck := g.keyFor(q)
-	maxRing := int32(1)
 	// Upper bound on rings: enough to cover the whole indexed extent.
-	for k := range g.cells {
-		dx := k.cx - ck.cx
-		if dx < 0 {
-			dx = -dx
+	maxRing := int32(1)
+	for _, d := range [4]int32{g.minCX - ck.cx, g.maxCX - ck.cx, g.minCY - ck.cy, g.maxCY - ck.cy} {
+		if d < 0 {
+			d = -d
 		}
-		dy := k.cy - ck.cy
-		if dy < 0 {
-			dy = -dy
-		}
-		if dx > maxRing {
-			maxRing = dx
-		}
-		if dy > maxRing {
-			maxRing = dy
+		if d > maxRing {
+			maxRing = d
 		}
 	}
 	for ring := int32(0); ring <= maxRing; ring++ {
@@ -121,13 +202,25 @@ func (g *GridIndex) Nearest(q LatLon) (int, float64) {
 					cy != ck.cy-ring && cy != ck.cy+ring {
 					continue
 				}
-				for _, idx := range g.cells[gridKey{cx, cy}] {
-					d := Distance(q, g.pts[idx])
+				sp, ok := g.spans[gridKey{cx, cy}]
+				if !ok {
+					continue
+				}
+				for _, idx := range g.order[sp.start:sp.end] {
+					found = true
+					p := g.pts[idx]
+					// A candidate whose certified lower bound already
+					// meets the incumbent cannot beat it (d >= lb >=
+					// bestDist fails d < bestDist); skip the haversine.
+					lb, _ := DistBounds(q, p, cosQ*g.cosLat[idx])
+					if lb >= bestDist {
+						continue
+					}
+					d := Distance(q, p)
 					if d < bestDist {
 						bestDist = d
 						best = int(idx)
 					}
-					found = true
 				}
 			}
 		}

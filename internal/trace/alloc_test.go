@@ -1,0 +1,73 @@
+// The race detector's sync.Pool deliberately drops a fraction of Puts
+// to shake out lifecycle bugs, so a zero-alloc pool assertion cannot
+// hold under -race; the test runs in regular builds only.
+//
+//go:build !race
+
+package trace
+
+import (
+	"bytes"
+	"io"
+	"runtime/debug"
+	"testing"
+)
+
+// TestDecodeFrameSteadyStateAllocs pins the hot-path allocation budget:
+// once a consumer recycles decoded users, DecodeFrame on an in-memory
+// stream must not allocate at all — the pooled record is refilled in
+// place, checkin POI names resolve through the intern table, and truth
+// labels come from the label table.
+func TestDecodeFrameSteadyStateAllocs(t *testing.T) {
+	// sync.Pool contents may be dropped by a garbage collection between
+	// runs; disable collection so the measurement sees the steady state
+	// the pool is designed for.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	var buf bytes.Buffer
+	if err := testDataset().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStreamReaderBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-memory frames are subslices of the backing data, so they can be
+	// fetched once and decoded repeatedly.
+	var frames []Frame
+	for {
+		f, err := sr.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != len(testDataset().Users) {
+		t.Fatalf("fetched %d frames, want %d", len(frames), len(testDataset().Users))
+	}
+
+	// Warm the record pool and slice capacities.
+	for _, f := range frames {
+		u, err := sr.DecodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr.RecycleUser(u)
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, f := range frames {
+			u, err := sr.DecodeFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr.RecycleUser(u)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeFrame: %v allocs per run, want 0", allocs)
+	}
+}

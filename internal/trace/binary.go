@@ -47,6 +47,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -190,6 +191,30 @@ func (d *frameDec) str() string {
 	s := string(d.data[d.pos : d.pos+int(n)])
 	d.pos += int(n)
 	return s
+}
+
+// strIntern is str resolving the bytes through an intern table first:
+// a hit returns the canonical string without allocating (the compiler
+// elides the string conversion in a map lookup), a miss copies as usual.
+func (d *frameDec) strIntern(names map[string]string) string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringBytes {
+		d.fail("trace: binary frame: string length %d exceeds limit", n)
+		return ""
+	}
+	if d.pos+int(n) > len(d.data) {
+		d.fail("trace: binary frame: truncated string at offset %d", d.pos)
+		return ""
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	if s, ok := names[string(b)]; ok {
+		return s
+	}
+	return string(b)
 }
 
 func (d *frameDec) byte() byte {
@@ -408,10 +433,27 @@ type StreamReader struct {
 	r     *bufio.Reader
 	name  string
 	pois  []poi.POI
+	names map[string]string // POI-name intern table, read-only after header
 	seen  map[int]struct{}
 	bufs  sync.Pool // *[]byte, recycled by DecodeFrame
+	upool sync.Pool // *User, recycled by RecycleUser
 	users uint64
 	done  bool
+
+	// In-memory mode (NewStreamReaderBytes): frames are sliced straight
+	// out of mm — no copy, no buffer pool. Nil for io.Reader streams.
+	mm    []byte
+	mmPos int
+}
+
+// UserRecycler is implemented by frame sources whose DecodeFrame can
+// reuse consumed user records. A consumer that is provably done with a
+// decoded user — nothing retains the User or its GPS/checkin slices —
+// hands it back so the next decode fills it in place instead of
+// allocating. Recycling is strictly opt-in: sources whose consumers
+// retain users simply never call it and decode behaves as before.
+type UserRecycler interface {
+	RecycleUser(*User)
 }
 
 // Frame is one undecoded unit of a user stream: a raw binary frame
@@ -522,6 +564,33 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	if _, err := poi.NewDB(sr.pois); err != nil {
 		return nil, fmt.Errorf("trace: invalid POI table: %w", err)
 	}
+	// Intern table for checkin POI names: claimed names overwhelmingly
+	// repeat venue-table names, and a map[string]string lookup keyed by
+	// string(bytes) does not allocate on a hit, so steady-state decode
+	// reuses one canonical string per venue. Read-only after the header,
+	// hence safe under concurrent DecodeFrame calls.
+	sr.names = make(map[string]string, len(sr.pois))
+	for _, p := range sr.pois {
+		sr.names[p.Name] = p.Name
+	}
+	return sr, nil
+}
+
+// NewStreamReaderBytes opens a binary dataset held entirely in memory —
+// typically an mmap'ed uncompressed shard. Frames are sliced directly
+// from data with no copying and no buffer pool; data must remain valid
+// and unmodified for the lifetime of the reader and of every frame it
+// yields. Decoded users never alias data (strings are interned or
+// copied), so they outlive an unmap.
+func NewStreamReaderBytes(data []byte) (*StreamReader, error) {
+	r := bytes.NewReader(data)
+	br := bufio.NewReaderSize(r, 1<<16)
+	sr, err := NewStreamReader(br)
+	if err != nil {
+		return nil, err
+	}
+	sr.mm = data
+	sr.mmPos = len(data) - r.Len() - br.Buffered()
 	return sr, nil
 }
 
@@ -559,6 +628,9 @@ func (sr *StreamReader) NextFrame() (Frame, error) {
 	if sr.done {
 		return Frame{}, io.EOF
 	}
+	if sr.mm != nil {
+		return sr.nextFrameBytes()
+	}
 	frameLen, err := binary.ReadUvarint(sr.r)
 	if err != nil {
 		return Frame{}, fmt.Errorf("trace: read binary frame: %w", noEOF(err))
@@ -594,6 +666,52 @@ func (sr *StreamReader) NextFrame() (Frame, error) {
 	return Frame{data: buf, buf: bp}, nil
 }
 
+// nextFrameBytes is NextFrame for the in-memory (mmap) mode: frames are
+// subslices of the mapping, so fetching copies nothing and recycles
+// nothing.
+func (sr *StreamReader) nextFrameBytes() (Frame, error) {
+	frameLen, n := binary.Uvarint(sr.mm[sr.mmPos:])
+	if n <= 0 {
+		return Frame{}, fmt.Errorf("trace: read binary frame: %w", io.ErrUnexpectedEOF)
+	}
+	sr.mmPos += n
+	if frameLen == 0 {
+		// Sentinel: verify the trailer then report a clean end.
+		count, n := binary.Uvarint(sr.mm[sr.mmPos:])
+		if n <= 0 {
+			return Frame{}, fmt.Errorf("trace: read binary trailer: %w", io.ErrUnexpectedEOF)
+		}
+		sr.mmPos += n
+		if count != sr.users {
+			return Frame{}, fmt.Errorf("trace: binary trailer user count %d, decoded %d", count, sr.users)
+		}
+		sr.done = true
+		return Frame{}, io.EOF
+	}
+	if frameLen > maxFrameBytes {
+		return Frame{}, fmt.Errorf("trace: binary frame length %d exceeds limit", frameLen)
+	}
+	if uint64(len(sr.mm)-sr.mmPos) < frameLen {
+		return Frame{}, fmt.Errorf("trace: read binary frame: %w", io.ErrUnexpectedEOF)
+	}
+	data := sr.mm[sr.mmPos : sr.mmPos+int(frameLen)]
+	sr.mmPos += int(frameLen)
+	sr.users++
+	return Frame{data: data}, nil
+}
+
+// RecycleUser returns a decoded user to the reader's record pool so a
+// later DecodeFrame can fill it in place (see UserRecycler). The caller
+// must be done with the user and every slice it owns.
+func (sr *StreamReader) RecycleUser(u *User) {
+	if u == nil {
+		return
+	}
+	u.GPS = u.GPS[:0]
+	u.Checkins = u.Checkins[:0]
+	sr.upool.Put(u)
+}
+
 // Users returns the number of user frames fetched so far.
 func (sr *StreamReader) Users() int { return int(sr.users) }
 
@@ -613,10 +731,25 @@ func (sr *StreamReader) DecodeFrame(f Frame) (*User, error) {
 	return u, err
 }
 
-// decodeFrame decodes one raw frame payload into a validated user.
-func (sr *StreamReader) decodeFrame(data []byte) (*User, error) {
+// decodeFrame decodes one raw frame payload into a validated user. The
+// record comes from the reader's pool when consumers recycle (every
+// field is overwritten below, so a reused record carries nothing over);
+// otherwise the pool misses and this allocates exactly as before.
+func (sr *StreamReader) decodeFrame(data []byte) (u *User, err error) {
 	d := frameDec{data: data}
-	u := &User{}
+	u, _ = sr.upool.Get().(*User)
+	if u == nil {
+		u = &User{}
+	}
+	defer func() {
+		if err != nil {
+			// The partially filled record is clean for reuse — every
+			// decode starts by truncating the slices and overwriting
+			// the scalars — so an error keeps it pooled, not leaked.
+			sr.RecycleUser(u)
+			u = nil
+		}
+	}()
 	u.ID = int(d.varint())
 	u.Days = d.f64()
 	u.Profile.Friends = int(d.varint())
@@ -626,7 +759,11 @@ func (sr *StreamReader) decodeFrame(data []byte) (*User, error) {
 
 	nGPS := d.uvarint()
 	if d.err == nil {
-		u.GPS = make(GPSTrace, 0, min(nGPS, allocHint))
+		if hint := int(min(nGPS, allocHint)); cap(u.GPS) < hint {
+			u.GPS = make(GPSTrace, 0, hint)
+		} else {
+			u.GPS = u.GPS[:0]
+		}
 	}
 	var t int64
 	var lat, lon int64
@@ -648,7 +785,11 @@ func (sr *StreamReader) decodeFrame(data []byte) (*User, error) {
 
 	nCk := d.uvarint()
 	if d.err == nil {
-		u.Checkins = make(CheckinTrace, 0, min(nCk, allocHint))
+		if hint := int(min(nCk, allocHint)); cap(u.Checkins) < hint {
+			u.Checkins = make(CheckinTrace, 0, hint)
+		} else {
+			u.Checkins = u.Checkins[:0]
+		}
 	}
 	t = 0
 	for i := uint64(0); i < nCk && d.err == nil; i++ {
@@ -659,7 +800,7 @@ func (sr *StreamReader) decodeFrame(data []byte) (*User, error) {
 		}
 		c := Checkin{T: t}
 		c.POIID = int(d.uvarint())
-		c.POIName = d.str()
+		c.POIName = d.strIntern(sr.names)
 		c.Category = poi.Category(d.varint())
 		c.Loc = d.latlon()
 		c.Truth = d.label()

@@ -184,6 +184,57 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
+// errMmapUnsupported marks files (or platforms) where memory-mapped
+// reading is unavailable; callers fall back to buffered streaming.
+var errMmapUnsupported = fmt.Errorf("trace: mmap unsupported")
+
+// mmapDisabled forces the buffered streaming path even where mmap would
+// work. Tests flip it to pin that both readers produce identical
+// results.
+var mmapDisabled bool
+
+// SetMmapDisabled forces (true) or re-allows (false) memory-mapped
+// reading of uncompressed binary files, returning the previous setting.
+// It exists so tests and diagnostics can pin that the mmap and buffered
+// streaming readers produce identical results; it must not be flipped
+// concurrently with OpenStream/OpenShard calls.
+func SetMmapDisabled(v bool) bool {
+	prev := mmapDisabled
+	mmapDisabled = v
+	return prev
+}
+
+// closerFunc adapts a plain func to io.Closer (for unmap functions).
+type closerFunc func() error
+
+func (c closerFunc) Close() error { return c() }
+
+// openMapped tries the zero-copy path for an open file: if the file is
+// mappable and holds an uncompressed binary dataset, it returns a
+// reader slicing frames straight out of the mapping, plus the unmap
+// closer. Any other outcome (gzip, JSON, unsupported platform or file)
+// reports ok=false with the file offset untouched, and the caller runs
+// the buffered streaming path instead.
+func openMapped(f *os.File) (sr *StreamReader, unmap io.Closer, ok bool, err error) {
+	if mmapDisabled {
+		return nil, nil, false, nil
+	}
+	data, unmapFn, merr := mmapFile(f)
+	if merr != nil {
+		return nil, nil, false, nil
+	}
+	if len(data) < len(binaryMagic) || [4]byte(data[:len(binaryMagic)]) != binaryMagic {
+		unmapFn()
+		return nil, nil, false, nil
+	}
+	sr, err = NewStreamReaderBytes(data)
+	if err != nil {
+		unmapFn()
+		return nil, nil, false, err
+	}
+	return sr, closerFunc(unmapFn), true, nil
+}
+
 // sniffReader detects gzip by magic bytes (regardless of file suffix) and
 // returns a buffered reader over the uncompressed stream plus a closer
 // for the gzip layer (nil when not compressed).
@@ -303,12 +354,27 @@ func (s *DatasetStream) Close() error {
 }
 
 // OpenStream opens a dataset file for per-user iteration, sniffing
-// compression and encoding from magic bytes. Callers must Close the
-// returned stream.
+// compression and encoding from magic bytes. Uncompressed binary files
+// are memory-mapped where the platform supports it, so frame bytes are
+// sliced from the mapping instead of copied through io.Reader; gzip
+// input, JSON input and other platforms use the buffered streaming
+// path, with identical results. Callers must Close the returned stream.
 func OpenStream(path string) (*DatasetStream, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: open dataset: %w", err)
+	}
+	if sr, unmap, ok, err := openMapped(f); err != nil {
+		f.Close()
+		return nil, err
+	} else if ok {
+		return &DatasetStream{
+			Name:    sr.Name(),
+			POIs:    sr.POIs(),
+			Format:  FormatBinary,
+			src:     sr,
+			closers: []io.Closer{unmap, f},
+		}, nil
 	}
 	br, gz, err := sniffReader(f)
 	if err != nil {

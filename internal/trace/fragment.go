@@ -234,6 +234,22 @@ func NewFragmentReader(r io.Reader) (*FragmentReader, error) {
 // Keys returns the fragment's identifying key/value header.
 func (fr *FragmentReader) Keys() map[string]string { return fr.keys }
 
+// scratch returns fr.buf resized to size, growing geometrically so a
+// fragment with many similar-sized chunks settles on one allocation
+// instead of reallocating whenever a chunk is a byte larger than its
+// predecessor. The returned slice is invalidated by the next scratch
+// call (NextChunk documents the same reuse to its callers).
+func (fr *FragmentReader) scratch(size uint64) []byte {
+	if uint64(cap(fr.buf)) < size {
+		newCap := 2 * uint64(cap(fr.buf))
+		if newCap < size {
+			newCap = size
+		}
+		fr.buf = make([]byte, newCap)
+	}
+	return fr.buf[:size]
+}
+
 // readStr reads one length-prefixed string.
 func (fr *FragmentReader) readStr() (string, error) {
 	n, err := binary.ReadUvarint(fr.r)
@@ -243,7 +259,7 @@ func (fr *FragmentReader) readStr() (string, error) {
 	if n > maxFragmentString {
 		return "", fmt.Errorf("string length %d exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	buf := fr.scratch(n)
 	if _, err := io.ReadFull(fr.r, buf); err != nil {
 		return "", noEOF(err)
 	}
@@ -305,10 +321,7 @@ func (fr *FragmentReader) NextChunk() ([]byte, error) {
 	if size > maxFragmentChunk {
 		return nil, fmt.Errorf("trace: fragment chunk of %d bytes exceeds limit", size)
 	}
-	if uint64(cap(fr.buf)) < size {
-		fr.buf = make([]byte, size)
-	}
-	buf := fr.buf[:size]
+	buf := fr.scratch(size)
 	if _, err := io.ReadFull(fr.r, buf); err != nil {
 		return nil, fmt.Errorf("trace: read fragment chunk: %w", noEOF(err))
 	}

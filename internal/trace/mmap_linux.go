@@ -1,0 +1,27 @@
+//go:build linux
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps an open regular file read-only and returns the mapping
+// plus its unmap function. Non-regular, empty, or oversized files
+// report errMmapUnsupported so callers fall back to buffered streaming.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if !fi.Mode().IsRegular() || size <= 0 || int64(int(size)) != size {
+		return nil, nil, errMmapUnsupported
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package trace
+
+import "os"
+
+// mmapFile is unsupported on this platform; callers fall back to
+// buffered streaming.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

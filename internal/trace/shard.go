@@ -493,14 +493,14 @@ func (ss *ShardSet) OpenShard(i int) (*ShardReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: open shard %s: %w", info.File, err)
 	}
-	br, gz, err := sniffReader(f)
-	if err != nil {
+	var sr *StreamReader
+	var closers []func() error
+	if msr, unmap, ok, merr := openMapped(f); merr != nil {
 		f.Close()
-		return nil, fmt.Errorf("trace: open shard %s: %w", info.File, err)
-	}
-	closers := []func() error{f.Close}
-	if gz != nil {
-		closers = []func() error{gz.Close, f.Close}
+		return nil, fmt.Errorf("trace: shard %s: %w", info.File, merr)
+	} else if ok {
+		sr = msr
+		closers = []func() error{unmap.Close, f.Close}
 	}
 	fail := func(err error) (*ShardReader, error) {
 		for _, c := range closers {
@@ -508,9 +508,19 @@ func (ss *ShardSet) OpenShard(i int) (*ShardReader, error) {
 		}
 		return nil, err
 	}
-	sr, err := NewStreamReader(br)
-	if err != nil {
-		return fail(fmt.Errorf("trace: shard %s: %w", info.File, err))
+	if sr == nil {
+		br, gz, err := sniffReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: open shard %s: %w", info.File, err)
+		}
+		closers = []func() error{f.Close}
+		if gz != nil {
+			closers = []func() error{gz.Close, f.Close}
+		}
+		if sr, err = NewStreamReader(br); err != nil {
+			return fail(fmt.Errorf("trace: shard %s: %w", info.File, err))
+		}
 	}
 	if sr.Name() != ss.Manifest.Name {
 		return fail(fmt.Errorf("trace: shard %s: dataset name %q, manifest says %q", info.File, sr.Name(), ss.Manifest.Name))
@@ -546,6 +556,10 @@ func (r *ShardReader) DecodeFrame(f Frame) (*User, error) { return r.sr.DecodeFr
 // Recycle returns an undecoded frame's buffer to the shard reader's
 // pool (see StreamReader.Recycle).
 func (r *ShardReader) Recycle(f Frame) { r.sr.Recycle(f) }
+
+// RecycleUser returns a consumed user record to the shard reader's pool
+// (see StreamReader.RecycleUser and the UserRecycler contract).
+func (r *ShardReader) RecycleUser(u *User) { r.sr.RecycleUser(u) }
 
 // Next decodes the next user serially (NextFrame + DecodeFrame plus a
 // reader-local duplicate check), so a single shard can also be read as

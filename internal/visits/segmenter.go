@@ -107,6 +107,7 @@ func (s *Segmenter) drain(finish bool) []trace.Visit {
 			return out
 		}
 		anchor := s.buf[0].Loc
+		cosAnchor := geo.CosLat(anchor)
 		j := 0
 		closed := false
 		for j+1 < n {
@@ -115,7 +116,10 @@ func (s *Segmenter) drain(finish bool) []trace.Visit {
 				closed = true
 				break
 			}
-			if geo.Distance(anchor, next.Loc) > s.cfg.RoamRadius {
+			// Decision-identical to Distance(anchor, next.Loc) >
+			// RoamRadius: certified bounds decide all but borderline
+			// fixes without trigonometry (see geo/fastdist.go).
+			if !geo.WithinRadius(anchor, next.Loc, cosAnchor, s.cfg.RoamRadius) {
 				closed = true
 				break
 			}

@@ -1,0 +1,82 @@
+package geosocial
+
+// Acceptance tests for the hot-path optimization work: the memory-mapped
+// reader and the buffered streaming reader must be interchangeable at
+// the byte level. For single-file, sharded and appended corpora, any
+// worker count, mmap on or off, the StreamResult JSON document and the
+// outcome log must come out identical.
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"geosocial/internal/trace"
+)
+
+func TestMmapFallbackByteIdentity(t *testing.T) {
+	orig := trace.SetMmapDisabled(false)
+	defer trace.SetMmapDisabled(orig)
+
+	full := getStudy(t).Primary
+	dir := t.TempDir()
+
+	filePath := filepath.Join(dir, "full.bin")
+	if err := full.SaveFile(filePath); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := t.TempDir()
+	shardManifest, err := full.SaveShards(shardDir, trace.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An appended corpus: base shards plus live-appended generations, so
+	// the identity also covers multi-generation shard sets.
+	base, gens, _ := splitAppendCorpus(t, "day")
+	appDir := t.TempDir()
+	appManifest, err := base.SaveShards(appDir, trace.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range gens {
+		applyAppend(t, appManifest, gen)
+	}
+
+	corpora := []struct{ name, path string }{
+		{"file", filePath},
+		{"sharded", shardManifest},
+		{"appended", appManifest},
+	}
+	for _, c := range corpora {
+		t.Run(c.name, func(t *testing.T) {
+			var refJSON, refLog []byte
+			var refName string
+			for _, mmapOff := range []bool{false, true} {
+				for _, workers := range []int{1, 8} {
+					trace.SetMmapDisabled(mmapOff)
+					name := fmt.Sprintf("mmapOff=%v workers=%d", mmapOff, workers)
+					log := filepath.Join(dir, fmt.Sprintf("%s-%v-%d.gso", c.name, mmapOff, workers))
+					res, err := ValidateFileOpts(c.path, StreamOptions{Workers: workers, OutcomeLog: log})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					gotJSON, gotLog := resultJSON(t, res), readFile(t, log)
+					if refJSON == nil {
+						refJSON, refLog, refName = gotJSON, gotLog, name
+						continue
+					}
+					if !bytes.Equal(gotJSON, refJSON) {
+						t.Fatalf("%s: StreamResult JSON differs from %s:\n got:\n%s\nwant:\n%s",
+							name, refName, gotJSON, refJSON)
+					}
+					if !bytes.Equal(gotLog, refLog) {
+						t.Fatalf("%s: outcome log differs from %s", name, refName)
+					}
+				}
+			}
+		})
+	}
+}
