@@ -35,6 +35,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"geosocial/internal/obs"
 )
 
 // errUsage signals a flag-parse failure the flag package has already
@@ -72,6 +74,7 @@ func main() {
 // regression-gate mode.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	ver := obs.RegisterVersionFlag(fs)
 	out := fs.String("o", "", "output file (default stdout)")
 	compare := fs.String("compare", "", "baseline JSON to gate the input against (regression mode)")
 	tolerance := fs.Float64("tolerance", 0.25, "relative regression band for gated metrics")
@@ -81,6 +84,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return nil
 		}
 		return errUsage
+	}
+	if obs.PrintVersionIf(*ver, stdout, "benchjson") {
+		return nil
 	}
 	in := stdin
 	switch fs.NArg() {

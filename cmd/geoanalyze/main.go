@@ -34,6 +34,7 @@ import (
 	"geosocial"
 	"geosocial/internal/classify"
 	"geosocial/internal/core"
+	"geosocial/internal/obs"
 )
 
 // errUsage signals a flag-parse failure the flag package has already
@@ -60,11 +61,17 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("missing analysis kind: geoanalyze %s -in out.gso", kinds)
 	}
 	kind := args[0]
+	if kind == "-version" || kind == "--version" {
+		// The version request is the one flag allowed before the kind.
+		fmt.Fprintln(stdout, obs.VersionString("geoanalyze"))
+		return nil
+	}
 	if strings.HasPrefix(kind, "-") {
 		return fmt.Errorf("the analysis kind comes first: geoanalyze %s -in out.gso", kinds)
 	}
 
 	fs := flag.NewFlagSet("geoanalyze "+kind, flag.ContinueOnError)
+	ver := obs.RegisterVersionFlag(fs)
 	var (
 		in        = fs.String("in", "", "outcome log written by geovalidate -outcomes")
 		asJSON    = fs.Bool("json", false, "emit the analysis report as JSON instead of text")
@@ -77,6 +84,9 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		}
 		return errUsage
+	}
+	if obs.PrintVersionIf(*ver, stdout, "geoanalyze") {
+		return nil
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in outcome log (write one with geovalidate -outcomes)")

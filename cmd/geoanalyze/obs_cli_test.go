@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"geosocial/internal/obs"
+)
+
+// TestVersionFlag covers both spellings: -version in the kind position
+// (the one place a flag is allowed before the kind) and after a kind.
+func TestVersionFlag(t *testing.T) {
+	want := obs.VersionString("geoanalyze") + "\n"
+	for _, args := range [][]string{
+		{"-version"},
+		{"--version"},
+		{"summary", "-version"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if out.String() != want {
+			t.Fatalf("%v: stdout = %q, want %q", args, out.String(), want)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"geosocial/internal/obs"
 	"geosocial/internal/trace"
 )
 
@@ -48,7 +49,7 @@ var errUsage = errors.New("usage")
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geoappend: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
 		}
@@ -56,10 +57,12 @@ func main() {
 	}
 }
 
-// run executes the tool against args, writing its report to stdout. It is
-// the whole tool minus process concerns, so tests can drive it directly.
-func run(args []string, stdout io.Writer) error {
+// run executes the tool against args, writing its report to stdout and
+// log lines (gated by -log-level / -quiet) to stderr. It is the whole
+// tool minus process concerns, so tests can drive it directly.
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("geoappend", flag.ContinueOnError)
+	obsFlags := obs.RegisterCLIFlags(fs, "geoappend")
 	var (
 		split   = fs.String("split", "", "dataset to cut into a base shard set plus a delta stream")
 		out     = fs.String("out", "", "output directory for the split shard set (required with -split)")
@@ -74,6 +77,13 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return errUsage
 	}
+	if obsFlags.PrintVersion(stdout) {
+		return nil
+	}
+	logger, err := obsFlags.Logger(stderr)
+	if err != nil {
+		return err
+	}
 	switch {
 	case *split != "" && *in != "":
 		return fmt.Errorf("-split and -in are mutually exclusive")
@@ -85,11 +95,13 @@ func run(args []string, stdout io.Writer) error {
 		if path == "" {
 			path = filepath.Join(*out, "delta.gsb")
 		}
+		logger.Debugf("split mode: src=%s out=%s shards=%d cut-days=%v", *split, *out, *shards, *cutDays)
 		return runSplit(*split, *out, path, *shards, *cutDays, stdout)
 	case *in != "":
 		if *delta == "" {
 			return fmt.Errorf("-in requires -delta (the stream to append)")
 		}
+		logger.Debugf("apply mode: manifest=%s delta=%s", *in, *delta)
 		return runApply(*in, *delta, stdout)
 	default:
 		return fmt.Errorf("one of -split or -in is required")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -36,7 +37,7 @@ func TestSplitApplyRoundTrip(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "corpus")
 
 	var buf bytes.Buffer
-	if err := run([]string{"-split", src, "-out", out, "-shards", "2", "-cut-days", "3"}, &buf); err != nil {
+	if err := run([]string{"-split", src, "-out", out, "-shards", "2", "-cut-days", "3"}, &buf, io.Discard); err != nil {
 		t.Fatalf("split: %v", err)
 	}
 	if !strings.Contains(buf.String(), "delta users") {
@@ -56,7 +57,7 @@ func TestSplitApplyRoundTrip(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := run([]string{"-in", manifest, "-delta", delta}, &buf); err != nil {
+	if err := run([]string{"-in", manifest, "-delta", delta}, &buf, io.Discard); err != nil {
 		t.Fatalf("apply: %v", err)
 	}
 	if !strings.Contains(buf.String(), "generation 1") {
@@ -94,7 +95,7 @@ func TestSplitApplyRoundTrip(t *testing.T) {
 func TestSplitRefusesDegenerateCut(t *testing.T) {
 	src := genBinary(t)
 	out := t.TempDir()
-	err := run([]string{"-split", src, "-out", out, "-cut-days", "100000"}, &bytes.Buffer{})
+	err := run([]string{"-split", src, "-out", out, "-cut-days", "100000"}, &bytes.Buffer{}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "base users") {
 		t.Fatalf("degenerate cut: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestFlagValidation(t *testing.T) {
 		{[]string{"-split", "a"}, "requires -out"},
 		{[]string{"-in", "a"}, "requires -delta"},
 	} {
-		err := run(tc.args, &bytes.Buffer{})
+		err := run(tc.args, &bytes.Buffer{}, io.Discard)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("run(%v) = %v, want %q", tc.args, err, tc.want)
 		}

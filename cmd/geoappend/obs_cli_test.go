@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"geosocial/internal/obs"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	want := obs.VersionString("geoappend") + "\n"
+	if out.String() != want {
+		t.Fatalf("stdout = %q, want %q", out.String(), want)
+	}
+	if errb.Len() != 0 {
+		t.Fatalf("-version wrote to stderr: %q", errb.String())
+	}
+}
+
+func TestBadLogLevelRejected(t *testing.T) {
+	err := run([]string{"-log-level", "loud", "-in", "x", "-delta", "y"}, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Fatalf("err = %v, want -log-level validation error", err)
+	}
+}

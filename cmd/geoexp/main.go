@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"geosocial/internal/eval"
+	"geosocial/internal/obs"
 )
 
 // errUsage signals a flag-parse failure the flag package has already
@@ -47,6 +48,7 @@ func main() {
 // the whole tool minus process concerns, so tests can drive it directly.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geoexp", flag.ContinueOnError)
+	ver := obs.RegisterVersionFlag(fs)
 	var (
 		scale   = fs.Float64("scale", 0.25, "population scale relative to the paper's study")
 		seed    = fs.Uint64("seed", 42, "root RNG seed")
@@ -59,6 +61,9 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		}
 		return errUsage
+	}
+	if obs.PrintVersionIf(*ver, stdout, "geoexp") {
+		return nil
 	}
 
 	if *list {

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"geosocial/internal/obs"
 	"geosocial/internal/rng"
 	"geosocial/internal/synth"
 	"geosocial/internal/trace"
@@ -52,6 +53,7 @@ func main() {
 // the whole tool minus process concerns, so tests can drive it directly.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("geogen", flag.ContinueOnError)
+	ver := obs.RegisterVersionFlag(fs)
 	var (
 		scale   = fs.Float64("scale", 1.0, "population scale relative to the paper's 244+47 users")
 		seed    = fs.Uint64("seed", 42, "root RNG seed")
@@ -67,6 +69,9 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		}
 		return errUsage
+	}
+	if obs.PrintVersionIf(*ver, stdout, "geogen") {
+		return nil
 	}
 	var ext string
 	switch *format {

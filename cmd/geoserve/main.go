@@ -24,8 +24,8 @@
 //	GET  /v1/datasets/{id}/outcomes   raw GSO1 outcome log bytes
 //	GET  /v1/datasets/{id}/analysis/{kind}  §5–§7 analysis (summary,
 //	                                  correlations, detector, levy, tradeoff)
-//	GET  /healthz                     liveness
-//	GET  /metrics                     plain-text counters
+//	GET  /healthz                     liveness (JSON status + build version)
+//	GET  /metrics                     Prometheus text-exposition metrics
 //
 // Results are byte-identical to geovalidate -json on the same dataset
 // for any -workers value, and analysis documents to geoanalyze -json
@@ -67,6 +67,7 @@ import (
 	"time"
 
 	"geosocial"
+	"geosocial/internal/obs"
 )
 
 // errUsage signals a flag-parse failure the flag package has already
@@ -78,7 +79,7 @@ func main() {
 	log.SetPrefix("geoserve: ")
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
 		}
@@ -86,11 +87,16 @@ func main() {
 	}
 }
 
-// run executes the service until ctx is cancelled, writing the listen
-// banner and lifecycle log lines to stdout. It is the whole tool minus
-// process concerns, so tests can drive it directly.
-func run(ctx context.Context, args []string, stdout io.Writer) error {
+// run executes the service until ctx is cancelled. The listen banner
+// (and shutdown notice) go to stdout — scripts and tests parse the
+// banner for the resolved address — while every lifecycle log line
+// (discovered, validated, failed, cache hit) goes through the
+// structured logger to stderr, where -log-level / -log-format / -quiet
+// control it. It is the whole tool minus process concerns, so tests
+// can drive it directly.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("geoserve", flag.ContinueOnError)
+	obsFlags := obs.RegisterCLIFlags(fs, "geoserve")
 	var (
 		addr         = fs.String("addr", ":8080", "HTTP listen address")
 		spool        = fs.String("spool", "", "spool directory watched for datasets (required; created if missing)")
@@ -113,6 +119,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		return errUsage
 	}
+	if obsFlags.PrintVersion(stdout) {
+		return nil
+	}
+	logger, err := obsFlags.Logger(stderr)
+	if err != nil {
+		return err
+	}
 	if *spool == "" {
 		return fmt.Errorf("missing -spool directory (datasets are watched for and uploaded there)")
 	}
@@ -130,9 +143,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxCheckpointRuns: *ckptsMax,
 		CheckpointStale:   *ckptsStale,
 		Stream:            geosocial.StreamOptions{Workers: *workers},
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stdout, format+"\n", args...)
-		},
+		Logf:              logger.Printf,
 	})
 	if err != nil {
 		return err

@@ -56,7 +56,7 @@ func startServer(t *testing.T, extraArgs ...string) (baseURL string, out *banner
 	out = &bannerWriter{addr: make(chan string, 1)}
 	args := append([]string{"-addr", "127.0.0.1:0", "-spool", t.TempDir(), "-poll", "50ms"}, extraArgs...)
 	errc := make(chan error, 1)
-	go func() { errc <- run(ctx, args, out) }()
+	go func() { errc <- run(ctx, args, out, io.Discard) }()
 	select {
 	case addr := <-out.addr:
 		baseURL = "http://" + addr
@@ -258,7 +258,7 @@ func TestSpoolPickup(t *testing.T) {
 	out := &bannerWriter{addr: make(chan string, 1)}
 	errc := make(chan error, 1)
 	go func() {
-		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-spool", spool, "-poll", "20ms"}, out)
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-spool", spool, "-poll", "20ms"}, out, io.Discard)
 	}()
 	var baseURL string
 	select {
@@ -335,13 +335,13 @@ func TestDebugAddrServesPprof(t *testing.T) {
 
 func TestRunFlagErrors(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, []string{"-nope"}, io.Discard); err != errUsage {
+	if err := run(ctx, []string{"-nope"}, io.Discard, io.Discard); err != errUsage {
 		t.Fatalf("bad flag: %v", err)
 	}
-	if err := run(ctx, nil, io.Discard); err == nil || !strings.Contains(err.Error(), "-spool") {
+	if err := run(ctx, nil, io.Discard, io.Discard); err == nil || !strings.Contains(err.Error(), "-spool") {
 		t.Fatalf("missing -spool: %v", err)
 	}
-	if err := run(ctx, []string{"-h"}, io.Discard); err != nil {
+	if err := run(ctx, []string{"-h"}, io.Discard, io.Discard); err != nil {
 		t.Fatalf("-h: %v", err)
 	}
 }

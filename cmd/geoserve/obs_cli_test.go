@@ -1,0 +1,136 @@
+package main
+
+// Tests for the observability command-line surface: -version and the
+// stdout/stderr separation contract — the listen banner and shutdown
+// notice stay on stdout for scripts to parse, while every lifecycle log
+// line goes through the structured logger to stderr.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geosocial/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the spool watcher and job
+// runner log from their own goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	want := obs.VersionString("geoserve") + "\n"
+	if out.String() != want {
+		t.Fatalf("stdout = %q, want %q", out.String(), want)
+	}
+	if errb.Len() != 0 {
+		t.Fatalf("-version wrote to stderr: %q", errb.String())
+	}
+}
+
+// TestLifecycleLogsOnStderr uploads a dataset and checks the split: the
+// banner and shutdown notice on stdout, the structured validation log
+// lines on stderr, and neither leaking into the other.
+func TestLifecycleLogsOnStderr(t *testing.T) {
+	dataset := saveDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &bannerWriter{addr: make(chan string, 1)}
+	errOut := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-spool", t.TempDir(), "-poll", "50ms"}, out, errOut)
+	}()
+	var baseURL string
+	select {
+	case addr := <-out.addr:
+		baseURL = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no banner")
+	}
+	upload(t, baseURL, dataset)
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return")
+	}
+
+	stdout, stderr := out.String(), errOut.String()
+	if !strings.Contains(stdout, "listening on http://") || !strings.Contains(stdout, "shutting down") {
+		t.Errorf("banner or shutdown notice missing from stdout:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "level=") {
+		t.Errorf("structured log lines leaked onto stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "level=info") || !strings.Contains(stderr, "validated") {
+		t.Errorf("validation log lines missing from stderr:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "listening on http://") {
+		t.Errorf("banner leaked onto stderr:\n%s", stderr)
+	}
+}
+
+// TestQuietSilencesLifecycleLogs pins -quiet: the banner still appears
+// (stdout is not log output) but stderr stays empty.
+func TestQuietSilencesLifecycleLogs(t *testing.T) {
+	dataset := saveDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &bannerWriter{addr: make(chan string, 1)}
+	errOut := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-spool", t.TempDir(), "-quiet"}, out, errOut)
+	}()
+	var baseURL string
+	select {
+	case addr := <-out.addr:
+		baseURL = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("no banner")
+	}
+	upload(t, baseURL, dataset)
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return")
+	}
+	if got := errOut.String(); got != "" {
+		t.Errorf("-quiet still wrote to stderr:\n%s", got)
+	}
+}

@@ -16,6 +16,9 @@
 //	geovalidate -in primary.manifest.json -checkpoint ./ckpt   # resumable run
 //	geovalidate -in grown.manifest.json -update-from prev.json -prev-outcomes prev.gso
 //	geovalidate -in primary.bin.gz -cpuprofile cpu.pprof -memprofile mem.pprof
+//	geovalidate -in primary.bin.gz -report text   # per-stage span breakdown on stderr
+//	geovalidate -in primary.bin.gz -log-level debug -log-format json
+//	geovalidate -version
 //
 // The dataset encoding (JSON or binary, gzip or not) is detected from
 // magic bytes, not the file name. Binary datasets are validated one
@@ -71,6 +74,7 @@ import (
 	"geosocial"
 	"geosocial/internal/classify"
 	"geosocial/internal/core"
+	"geosocial/internal/obs"
 )
 
 // errUsage signals a flag-parse failure the flag package has already
@@ -80,7 +84,7 @@ var errUsage = errors.New("usage")
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geovalidate: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, errUsage) {
 			os.Exit(2)
 		}
@@ -88,10 +92,14 @@ func main() {
 	}
 }
 
-// run executes the tool against args, writing its report to stdout. It is
-// the whole tool minus process concerns, so tests can drive it directly.
-func run(args []string, stdout io.Writer) error {
+// run executes the tool against args, writing its report to stdout and
+// every log line (and the -report span breakdown) to stderr — stdout
+// carries only the report or the -json document, so piping either never
+// picks up log noise. It is the whole tool minus process concerns, so
+// tests can drive it directly.
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("geovalidate", flag.ContinueOnError)
+	obsFlags := obs.RegisterCLIFlags(fs, "geovalidate")
 	var (
 		in       = fs.String("in", "", "dataset file, shard manifest, or directory holding one manifest")
 		alpha    = fs.Float64("alpha", 500, "spatial matching threshold in meters")
@@ -106,12 +114,23 @@ func run(args []string, stdout io.Writer) error {
 		prevLog  = fs.String("prev-outcomes", "", "previous run's outcome log, required with -update-from (supplies the superseded per-user records)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the validation here (inspect with go tool pprof)")
 		memProf  = fs.String("memprofile", "", "write an allocation profile here after the validation completes")
+		report   = fs.String("report", "", `write a per-stage pipeline span report to stderr after the run: "text" or "json"`)
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return errUsage
+	}
+	if obsFlags.PrintVersion(stdout) {
+		return nil
+	}
+	logger, err := obsFlags.Logger(stderr)
+	if err != nil {
+		return err
+	}
+	if *report != "" && *report != "text" && *report != "json" {
+		return fmt.Errorf(`-report must be "text" or "json", not %q`, *report)
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in dataset file (generate one with geogen)")
@@ -138,7 +157,7 @@ func run(args []string, stdout io.Writer) error {
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Printf("write -memprofile: %v", err)
+				logger.Errorf("write -memprofile: %v", err)
 			}
 		}()
 	}
@@ -148,15 +167,18 @@ func run(args []string, stdout io.Writer) error {
 		OutcomeLog:      *outcomes,
 		CheckpointDir:   *ckpt,
 		CheckpointStale: *ckStale,
-	}
-	if *ckpt != "" {
 		// Checkpoint lifecycle lines (hits, writes, unreadable
-		// fragments) go to stderr so they never disturb the report or
-		// the -json document on stdout.
-		opts.Logf = log.Printf
+		// fragments) go through the structured logger to stderr so they
+		// never disturb the report or the -json document on stdout.
+		// -quiet / -log-level off silence them.
+		Logf: logger.Printf,
+	}
+	if *report != "" {
+		// Span collection is opt-in: a nil collector costs the pipeline
+		// nothing, and results are byte-identical either way.
+		opts.Spans = obs.NewCollector()
 	}
 	var res *geosocial.StreamResult
-	var err error
 	if *updFrom != "" {
 		if *prevLog == "" {
 			return fmt.Errorf("-update-from requires -prev-outcomes (the previous run's outcome log)")
@@ -179,10 +201,26 @@ func run(args []string, stdout io.Writer) error {
 		res.Truth = nil
 	}
 
+	// The span report goes to stderr after the primary output, so
+	// stdout stays byte-identical with and without -report.
+	emitSpans := func() error {
+		if opts.Spans == nil {
+			return nil
+		}
+		rep := opts.Spans.Report()
+		if *report == "json" {
+			return rep.WriteJSON(stderr)
+		}
+		return rep.WriteText(stderr)
+	}
+
 	if *asJSON {
 		// The shared presentation encoding keeps this output
 		// byte-comparable with the geoserve HTTP API.
-		return core.WriteIndentedJSON(stdout, res)
+		if err := core.WriteIndentedJSON(stdout, res); err != nil {
+			return err
+		}
+		return emitSpans()
 	}
 
 	fmt.Fprintf(stdout, "dataset %q (%s): %d users\n", res.Name, res.Format, res.Users)
@@ -206,7 +244,7 @@ func run(args []string, stdout io.Writer) error {
 	if *outcomes != "" {
 		fmt.Fprintf(stdout, "outcome log: %s (analyze with geoanalyze)\n", *outcomes)
 	}
-	return nil
+	return emitSpans()
 }
 
 // loadPrevResult decodes a previous run's -json document for

@@ -62,7 +62,7 @@ func genBothFormats(t *testing.T) (jsonPath, binPath string) {
 func TestRunReportsPartitionAndTaxonomy(t *testing.T) {
 	path := genDataset(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-workers", "4"}, &out); err != nil {
+	if err := run([]string{"-in", path, "-workers", "4"}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -76,10 +76,10 @@ func TestRunReportsPartitionAndTaxonomy(t *testing.T) {
 func TestRunSerialAndParallelReportsIdentical(t *testing.T) {
 	path := genDataset(t)
 	var serial, parallel bytes.Buffer
-	if err := run([]string{"-in", path, "-workers", "1"}, &serial); err != nil {
+	if err := run([]string{"-in", path, "-workers", "1"}, &serial, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-in", path, "-workers", "8"}, &parallel); err != nil {
+	if err := run([]string{"-in", path, "-workers", "8"}, &parallel, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != parallel.String() {
@@ -89,7 +89,7 @@ func TestRunSerialAndParallelReportsIdentical(t *testing.T) {
 }
 
 func TestRunRequiresInput(t *testing.T) {
-	if err := run(nil, &bytes.Buffer{}); err == nil {
+	if err := run(nil, &bytes.Buffer{}, io.Discard); err == nil {
 		t.Fatal("expected error when -in is missing")
 	}
 }
@@ -100,7 +100,7 @@ func TestRunWritesProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+	if err := run([]string{"-in", path, "-cpuprofile", cpu, "-memprofile", mem}, &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{cpu, mem} {
@@ -143,7 +143,7 @@ func TestRunShardSetMatchesSingleFile(t *testing.T) {
 	report := func(path string) string {
 		t.Helper()
 		var out bytes.Buffer
-		if err := run([]string{"-in", path, "-workers", "4"}, &out); err != nil {
+		if err := run([]string{"-in", path, "-workers", "4"}, &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		return out.String()
@@ -179,7 +179,7 @@ func TestRunJSONOutput(t *testing.T) {
 	decode := func(path string) map[string]any {
 		t.Helper()
 		var out bytes.Buffer
-		if err := run([]string{"-in", path, "-json"}, &out); err != nil {
+		if err := run([]string{"-in", path, "-json"}, &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		var doc map[string]any
@@ -216,7 +216,7 @@ func TestRunBinaryStreamingMatchesJSON(t *testing.T) {
 	report := func(path string, workers string) (header, body string) {
 		t.Helper()
 		var out bytes.Buffer
-		if err := run([]string{"-in", path, "-workers", workers}, &out); err != nil {
+		if err := run([]string{"-in", path, "-workers", workers}, &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		s := out.String()
@@ -248,7 +248,7 @@ func TestJSONRoundTripsThroughServiceDecoder(t *testing.T) {
 	_, binPath := genBothFormats(t)
 	for _, workers := range []string{"1", "8"} {
 		var out bytes.Buffer
-		if err := run([]string{"-in", binPath, "-json", "-workers", workers}, &out); err != nil {
+		if err := run([]string{"-in", binPath, "-json", "-workers", workers}, &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 
@@ -353,7 +353,7 @@ func TestRunUpdateFrom(t *testing.T) {
 	validate := func(args ...string) []byte {
 		t.Helper()
 		var out bytes.Buffer
-		if err := run(append([]string{"-in", manifest, "-json"}, args...), &out); err != nil {
+		if err := run(append([]string{"-in", manifest, "-json"}, args...), &out, io.Discard); err != nil {
 			t.Fatal(err)
 		}
 		return out.Bytes()
@@ -404,11 +404,11 @@ func TestRunUpdateFrom(t *testing.T) {
 	}
 
 	// Flag pairing: each half of the update pair alone is an error.
-	if err := run([]string{"-in", manifest, "-update-from", gen0JSON}, io.Discard); err == nil ||
+	if err := run([]string{"-in", manifest, "-update-from", gen0JSON}, io.Discard, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "-prev-outcomes") {
 		t.Errorf("-update-from alone: %v", err)
 	}
-	if err := run([]string{"-in", manifest, "-prev-outcomes", gen0Log}, io.Discard); err == nil ||
+	if err := run([]string{"-in", manifest, "-prev-outcomes", gen0Log}, io.Discard, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "-update-from") {
 		t.Errorf("-prev-outcomes alone: %v", err)
 	}

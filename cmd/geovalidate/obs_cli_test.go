@@ -1,0 +1,150 @@
+package main
+
+// Tests for the observability command-line surface: -version, -report,
+// -log-level / -quiet, and the stdout/stderr separation contract —
+// stdout carries only the report or the -json document, stderr carries
+// every log line and the span breakdown.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"geosocial/internal/obs"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	want := obs.VersionString("geovalidate") + "\n"
+	if out.String() != want {
+		t.Fatalf("stdout = %q, want %q", out.String(), want)
+	}
+	if errb.Len() != 0 {
+		t.Fatalf("-version wrote to stderr: %q", errb.String())
+	}
+}
+
+// TestReportKeepsStdoutIdentical pins the byte-identity contract: the
+// -report span breakdown lands on stderr, so stdout is the same bytes
+// with and without it, in both text and -json output modes.
+func TestReportKeepsStdoutIdentical(t *testing.T) {
+	path := genDataset(t)
+	for _, jsonOut := range []bool{false, true} {
+		base := []string{"-in", path, "-workers", "4"}
+		if jsonOut {
+			base = append(base, "-json")
+		}
+		var plain bytes.Buffer
+		if err := run(base, &plain, &bytes.Buffer{}); err != nil {
+			t.Fatal(err)
+		}
+		var reported, errb bytes.Buffer
+		if err := run(append(base, "-report", "text"), &reported, &errb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain.Bytes(), reported.Bytes()) {
+			t.Fatalf("json=%v: stdout differs with -report text", jsonOut)
+		}
+		if !strings.Contains(errb.String(), "slowest stage:") {
+			t.Fatalf("json=%v: span report missing from stderr: %q", jsonOut, errb.String())
+		}
+	}
+}
+
+func TestReportJSONDecodes(t *testing.T) {
+	path := genDataset(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-in", path, "-report", "json"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(errb.Bytes(), &rep); err != nil {
+		t.Fatalf("decode -report json from stderr: %v\n%s", err, errb.String())
+	}
+	if len(rep.Stages) == 0 || rep.SlowestStage == "" {
+		t.Fatalf("span report has no stages: %+v", rep)
+	}
+	if strings.Contains(out.String(), "slowest") {
+		t.Fatalf("span report leaked onto stdout: %q", out.String())
+	}
+}
+
+func TestReportRejectsUnknownFormat(t *testing.T) {
+	err := run([]string{"-in", "x", "-report", "csv"}, &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-report") {
+		t.Fatalf("err = %v, want -report validation error", err)
+	}
+}
+
+// TestLogsGoToStderrOnly drives a checkpointed shard-set run — the
+// chattiest path — and checks that every log line lands on stderr,
+// stdout is byte-identical to a -quiet run, and -quiet silences stderr.
+func TestLogsGoToStderrOnly(t *testing.T) {
+	_, manifest := genShardSet(t)
+	ckptDir := t.TempDir()
+	base := []string{"-in", manifest, "-checkpoint", ckptDir}
+
+	var loudOut, loudErr bytes.Buffer
+	if err := run(base, &loudOut, &loudErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(loudErr.String(), "checkpoint written") {
+		t.Fatalf("checkpoint log lines missing from stderr: %q", loudErr.String())
+	}
+	if strings.Contains(loudOut.String(), "checkpoint written") {
+		t.Fatalf("log lines leaked onto stdout: %q", loudOut.String())
+	}
+
+	// The rerun hits the checkpoints; -quiet must silence those lines
+	// without changing the report.
+	var quietOut, quietErr bytes.Buffer
+	if err := run(append(base, "-quiet"), &quietOut, &quietErr); err != nil {
+		t.Fatal(err)
+	}
+	if quietErr.Len() != 0 {
+		t.Fatalf("-quiet still wrote to stderr: %q", quietErr.String())
+	}
+	if !bytes.Equal(loudOut.Bytes(), quietOut.Bytes()) {
+		t.Fatalf("stdout differs between logged and -quiet runs:\n%q\n%q", loudOut.String(), quietOut.String())
+	}
+}
+
+func TestLogFormatJSON(t *testing.T) {
+	_, manifest := genShardSet(t)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-in", manifest, "-checkpoint", t.TempDir(), "-log-format", "json"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(errb.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no log lines on stderr")
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		for _, k := range []string{"ts", "level", "msg", "component"} {
+			if _, ok := rec[k]; !ok {
+				t.Fatalf("log record missing %q: %q", k, line)
+			}
+		}
+	}
+}
+
+func TestBadLogFlagsRejected(t *testing.T) {
+	for _, tc := range []struct{ args, wantIn string }{
+		{"-log-level;loud", "-log-level"},
+		{"-log-format;xml", "-log-format"},
+	} {
+		args := strings.Split(tc.args, ";")
+		err := run(append(args, "-in", "x"), &bytes.Buffer{}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), tc.wantIn) {
+			t.Fatalf("%v: err = %v, want mention of %s", args, err, tc.wantIn)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"geosocial"
+	"geosocial/internal/obs"
 	"geosocial/internal/stats"
 )
 
@@ -43,6 +44,7 @@ func main() {
 // the whole tool minus process concerns, so tests can drive it directly.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("manetsim", flag.ContinueOnError)
+	ver := obs.RegisterVersionFlag(fs)
 	var (
 		in       = fs.String("in", "", "dataset file (JSON, .gz supported)")
 		nodes    = fs.Int("nodes", 200, "node count")
@@ -56,6 +58,9 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		}
 		return errUsage
+	}
+	if obs.PrintVersionIf(*ver, stdout, "manetsim") {
+		return nil
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in dataset file (generate one with geogen)")

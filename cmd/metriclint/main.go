@@ -1,0 +1,175 @@
+// Command metriclint checks a Prometheus text-exposition payload for
+// the structural rules a scraper relies on: name and label grammar,
+// HELP/TYPE presence and family contiguity, duplicate samples, and
+// histogram bucket invariants (cumulative le buckets ending in +Inf
+// that equal the family's _count). It shares its checker with the
+// serve-package tests (internal/obs.LintExposition), so the format the
+// service emits and the format CI accepts can never drift apart.
+//
+// Usage:
+//
+//	geoserve ... &
+//	curl -s localhost:8080/metrics | metriclint          # lint stdin
+//	metriclint scrape.txt other.txt                      # lint files
+//	metriclint -url http://localhost:8080/metrics        # scrape + lint
+//	metriclint -require geoserve_uploads_total -url ...  # + presence check
+//
+// Exit status 0 when every input is clean, 1 when any violation is
+// found (one line per violation on stderr), 2 on usage errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"geosocial/internal/obs"
+)
+
+// errUsage signals a flag-parse failure the flag package has already
+// reported to stderr; main exits 2 without printing it again.
+var errUsage = errors.New("usage")
+
+// errViolations reports lint failures already printed to stderr; main
+// exits 1 without printing it again.
+var errViolations = errors.New("violations")
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metriclint: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		switch {
+		case errors.Is(err, errUsage):
+			os.Exit(2)
+		case errors.Is(err, errViolations):
+			os.Exit(1)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run lints every input — files named in args, -url scrapes, or stdin
+// when neither is given — and reports the first-class outcome on
+// stdout, violations on stderr.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("metriclint", flag.ContinueOnError)
+	ver := obs.RegisterVersionFlag(fs)
+	url := fs.String("url", "", "scrape this /metrics endpoint instead of reading files or stdin")
+	timeout := fs.Duration("timeout", 10*time.Second, "HTTP timeout for -url scrapes")
+	require := fs.String("require", "", "comma-separated metric names that must be present in every input")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return errUsage
+	}
+	if obs.PrintVersionIf(*ver, stdout, "metriclint") {
+		return nil
+	}
+	var required []string
+	if *require != "" {
+		required = strings.Split(*require, ",")
+	}
+
+	type input struct {
+		name    string
+		payload []byte
+	}
+	var inputs []input
+	switch {
+	case *url != "":
+		if fs.NArg() > 0 {
+			return fmt.Errorf("-url and file arguments are mutually exclusive")
+		}
+		client := &http.Client{Timeout: *timeout}
+		resp, err := client.Get(*url)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("read %s: %w", *url, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scrape %s: %s", *url, resp.Status)
+		}
+		inputs = append(inputs, input{*url, body})
+	case fs.NArg() > 0:
+		for _, path := range fs.Args() {
+			payload, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, input{path, payload})
+		}
+	default:
+		payload, err := io.ReadAll(stdin)
+		if err != nil {
+			return fmt.Errorf("read stdin: %w", err)
+		}
+		inputs = append(inputs, input{"<stdin>", payload})
+	}
+
+	failed := false
+	for _, in := range inputs {
+		violations := obs.LintExposition(in.payload)
+		for _, name := range required {
+			if !hasMetric(in.payload, strings.TrimSpace(name)) {
+				violations = append(violations, fmt.Errorf("required metric %q not present", strings.TrimSpace(name)))
+			}
+		}
+		if len(violations) > 0 {
+			failed = true
+			for _, v := range violations {
+				fmt.Fprintf(stderr, "%s: %v\n", in.name, v)
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: clean (%d samples)\n", in.name, countSamples(in.payload))
+	}
+	if failed {
+		return errViolations
+	}
+	return nil
+}
+
+// hasMetric reports whether any sample line in the payload carries the
+// metric name — exactly, or as a histogram series of it (_bucket, _sum,
+// _count), or with a label set.
+func hasMetric(payload []byte, name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, line := range strings.Split(string(payload), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample := line
+		if i := strings.IndexAny(sample, "{ "); i >= 0 {
+			sample = sample[:i]
+		}
+		switch sample {
+		case name, name + "_bucket", name + "_sum", name + "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// countSamples counts the non-comment, non-blank lines.
+func countSamples(payload []byte) int {
+	n := 0
+	for _, line := range strings.Split(string(payload), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}

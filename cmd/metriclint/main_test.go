@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geosocial/internal/obs"
+)
+
+const cleanPayload = `# HELP demo_total A counter.
+# TYPE demo_total counter
+demo_total 3
+# HELP demo_seconds A histogram.
+# TYPE demo_seconds histogram
+demo_seconds_bucket{le="0.1"} 1
+demo_seconds_bucket{le="+Inf"} 2
+demo_seconds_sum 0.5
+demo_seconds_count 2
+`
+
+const dirtyPayload = `demo_total 3
+`
+
+func TestLintStdin(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader(cleanPayload), &out, &errb); err != nil {
+		t.Fatalf("clean payload: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "<stdin>: clean") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	err := run(nil, strings.NewReader(dirtyPayload), &out, &errb)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("dirty payload: err = %v, want errViolations", err)
+	}
+	if errb.Len() == 0 {
+		t.Fatal("no violations printed to stderr")
+	}
+}
+
+func TestLintFiles(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.txt")
+	dirty := filepath.Join(dir, "dirty.txt")
+	if err := os.WriteFile(clean, []byte(cleanPayload), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dirty, []byte(dirtyPayload), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{clean}, nil, &out, &errb); err != nil {
+		t.Fatalf("clean file: %v\n%s", err, errb.String())
+	}
+	err := run([]string{clean, dirty}, nil, &out, &errb)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("mixed files: err = %v, want errViolations", err)
+	}
+	if !strings.Contains(errb.String(), "dirty.txt") {
+		t.Fatalf("violation not attributed to the dirty file: %q", errb.String())
+	}
+}
+
+func TestScrapeURL(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(cleanPayload))
+	}))
+	defer ts.Close()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-url", ts.URL}, nil, &out, &errb); err != nil {
+		t.Fatalf("scrape: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestRequiredMetrics(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-require", "demo_total,demo_seconds"}, strings.NewReader(cleanPayload), &out, &errb); err != nil {
+		t.Fatalf("present metrics: %v\n%s", err, errb.String())
+	}
+	err := run([]string{"-require", "absent_total"}, strings.NewReader(cleanPayload), &out, &errb)
+	if !errors.Is(err, errViolations) {
+		t.Fatalf("absent metric: err = %v, want errViolations", err)
+	}
+	if !strings.Contains(errb.String(), "absent_total") {
+		t.Fatalf("missing-metric violation not named: %q", errb.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, nil, &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if want := obs.VersionString("metriclint") + "\n"; out.String() != want {
+		t.Fatalf("stdout = %q, want %q", out.String(), want)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"geosocial/internal/eval"
 	"geosocial/internal/levy"
 	"geosocial/internal/manet"
+	"geosocial/internal/obs"
 	"geosocial/internal/outcome"
 	"geosocial/internal/par"
 	"geosocial/internal/poi"
@@ -153,6 +154,14 @@ type StreamOptions struct {
 	// Logf, when non-nil, receives one line per checkpoint event (shard
 	// skipped, checkpoint written, corrupt fragment recovered).
 	Logf func(format string, args ...any)
+	// Spans, when non-nil, collects per-stage, per-shard pipeline spans
+	// (decode, fold, segment, match, classify, merge, checkpoint-commit)
+	// — record counts and summed wall time — for the post-run breakdown
+	// `geovalidate -report` renders. Instrumentation never feeds back
+	// into results: with or without a collector the StreamResult and the
+	// outcome log are byte-identical, and a nil collector costs nothing
+	// on the hot path (no clock reads, no allocation).
+	Spans *obs.Collector
 
 	// validated, when non-nil, observes every user ID as its outcome is
 	// accumulated, serially on the collecting goroutine. Tests use it to
@@ -308,9 +317,19 @@ func validateShardSet(path string, opts StreamOptions) (*StreamResult, error) {
 	k := len(ss.Manifest.Shards)
 	var gen *genSet
 	if ss.Manifest.Generation > 0 {
+		// The up-front delta decode is corpus-wide fold work, attributed
+		// to the pseudo-shard "corpus" in the span report.
+		foldCell := opts.Spans.Stage("fold", "corpus")
+		var t0 time.Time
+		if foldCell != nil {
+			t0 = time.Now()
+		}
 		ds, err := trace.MergeSets(ss)
 		if err != nil {
 			return nil, fmt.Errorf("geosocial: %w", err)
+		}
+		if foldCell != nil {
+			foldCell.Observe(len(ds.IDs()), time.Since(t0))
 		}
 		gen = &genSet{ds: ds, generation: ss.Manifest.Generation, newUsers: make([]int, k)}
 	}
@@ -465,6 +484,44 @@ func (c *ckptSource) NextFrame() (trace.Frame, error) {
 	return fr, err
 }
 
+// shardSpans bundles one shard's span cells, one per pipeline stage. A
+// zero shardSpans (spans disabled, or a shard never streamed) makes
+// every instrumentation site a single nil check — no clock read, no
+// allocation — which is the zero-cost-when-disabled contract.
+//
+// segment and match are the interface type core consumes; they are only
+// ever assigned non-nil cells, never typed-nil pointers, so core's own
+// nil checks stay meaningful.
+type shardSpans struct {
+	decode   *obs.Cell
+	fold     *obs.Cell
+	classify *obs.Cell
+	merge    *obs.Cell
+	commit   *obs.Cell
+	segment  core.StageObserver
+	match    core.StageObserver
+}
+
+// newShardSpans creates the stage cells for one shard. commit and fold
+// cells exist only when the run checkpoints / folds, so the report
+// never carries zero-valued stages a run could not have executed.
+func newShardSpans(c *obs.Collector, shard string, ck, fold bool) shardSpans {
+	sp := shardSpans{
+		decode:   c.Stage("decode", shard),
+		classify: c.Stage("classify", shard),
+		merge:    c.Stage("merge", shard),
+		segment:  c.Stage("segment", shard),
+		match:    c.Stage("match", shard),
+	}
+	if ck {
+		sp.commit = c.Stage("checkpoint-commit", shard)
+	}
+	if fold {
+		sp.fold = c.Stage("fold", shard)
+	}
+	return sp
+}
+
 // validateSources is the shared multi-source validation engine behind
 // ValidateFileOpts, ValidatePaths and validateShardSet: fetch raw
 // frames per source, run decode + validate + classify per user on the
@@ -508,6 +565,25 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 		defer logw.Discard() // no-op once Close has published the log
 	}
 	seen := make(map[int]int, 256) // user ID -> source index
+
+	// Span cells, one bundle per shard that can stream (checkpoint-hit
+	// shards never run, so they never appear in the report). The slice
+	// stays all-zero when spans are off.
+	spans := make([]shardSpans, n)
+	if opts.Spans != nil {
+		for i := range srcs {
+			if ck != nil && ck.metas[i] != nil {
+				continue
+			}
+			// A nil source inside a generational set is a delta shard:
+			// its users run through the fold pass, not the merge.
+			isDelta := gen != nil && srcs[i] == nil
+			if srcs[i] == nil && !isDelta {
+				continue
+			}
+			spans[i] = newShardSpans(opts.Spans, labels[i], ck != nil && srcs[i] != nil, isDelta)
+		}
+	}
 
 	// Merge preloaded checkpoints: seed the skipped shards' counters and
 	// duplicate-ID set, and replay their records into the outcome log
@@ -600,12 +676,21 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 			if frags[i] == nil || !wrapped[i].eof.Load() || stats[i].Users != ck.want[i] {
 				continue
 			}
-			if err := frags[i].Commit(&checkpoint.Meta{
+			commitCell := spans[i].commit
+			var t0 time.Time
+			if commitCell != nil {
+				t0 = time.Now()
+			}
+			err := frags[i].Commit(&checkpoint.Meta{
 				Users:     stats[i].Users,
 				Partition: stats[i].Partition,
 				Taxonomy:  taxs[i],
 				Truth:     truths[i].Counts(),
-			}, ids[i]); err != nil {
+			}, ids[i])
+			if commitCell != nil {
+				commitCell.Observe(stats[i].Users, time.Since(t0))
+			}
+			if err != nil {
 				return err
 			}
 			frags[i] = nil
@@ -626,12 +711,19 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 	// collecting goroutine. Both the merged stream and the generational
 	// new-user pass go through the same pair, which is what makes the
 	// two paths' aggregates interchangeable.
-	process := func(u *trace.User) (outcomeCls, error) {
-		o, err := v.ValidateUser(u, db)
+	process := func(u *trace.User, sp shardSpans) (outcomeCls, error) {
+		o, err := v.ValidateUserSpans(u, db, sp.segment, sp.match)
 		if err != nil {
 			return outcomeCls{}, err
 		}
+		var t0 time.Time
+		if sp.classify != nil {
+			t0 = time.Now()
+		}
 		cl, err := classify.ClassifyUser(o, clsParams)
+		if sp.classify != nil {
+			sp.classify.Observe(1, time.Since(t0))
+		}
 		if err != nil {
 			return outcomeCls{}, fmt.Errorf("classify: user %d: %w", o.User.ID, err)
 		}
@@ -683,15 +775,32 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 	}
 	err := par.MergeStreams(opts.Workers, next,
 		func(j, _ int, fr trace.Frame) (outcomeCls, error) {
+			sp := spans[live[j]]
+			var t0 time.Time
+			if sp.decode != nil {
+				t0 = time.Now()
+			}
 			u, err := srcs[live[j]].DecodeFrame(fr)
+			if sp.decode != nil {
+				sp.decode.Observe(1, time.Since(t0))
+			}
 			if err != nil {
 				return outcomeCls{}, err
 			}
-			return process(u)
+			return process(u, sp)
 		},
 		func(j, _ int, oc outcomeCls) error {
 			shard := live[j]
-			if err := account(shard, oc); err != nil {
+			mergeCell := spans[shard].merge
+			var t0 time.Time
+			if mergeCell != nil {
+				t0 = time.Now()
+			}
+			err := account(shard, oc)
+			if mergeCell != nil {
+				mergeCell.Observe(1, time.Since(t0))
+			}
+			if err != nil {
 				return err
 			}
 			if ck != nil {
@@ -724,17 +833,35 @@ func validateSources(name string, db *poi.DB, srcs []trace.FrameSource, labels [
 			}
 		}
 		ocs, err := par.Map(opts.Workers, len(newIDs), func(i int) (outcomeCls, error) {
+			sp := spans[gen.ds.Home(newIDs[i])]
+			var t0 time.Time
+			if sp.fold != nil {
+				t0 = time.Now()
+			}
 			u, err := gen.ds.FoldNew(newIDs[i])
+			if sp.fold != nil {
+				sp.fold.Observe(1, time.Since(t0))
+			}
 			if err != nil {
 				return outcomeCls{}, err
 			}
-			return process(u)
+			return process(u, sp)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("geosocial: %w", err)
 		}
 		for i, oc := range ocs {
-			if err := account(gen.ds.Home(newIDs[i]), oc); err != nil {
+			home := gen.ds.Home(newIDs[i])
+			mergeCell := spans[home].merge
+			var t0 time.Time
+			if mergeCell != nil {
+				t0 = time.Now()
+			}
+			err := account(home, oc)
+			if mergeCell != nil {
+				mergeCell.Observe(1, time.Since(t0))
+			}
+			if err != nil {
 				return nil, fmt.Errorf("geosocial: %w", err)
 			}
 		}

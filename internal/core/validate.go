@@ -119,15 +119,46 @@ func (v *Validator) resolve() (Params, visits.Config) {
 	return params, vcfg
 }
 
+// StageObserver receives one pipeline stage's instrumentation: n
+// records processed in d of wall time. internal/obs span cells satisfy
+// it; core depends only on this interface so the hot path carries no
+// observability imports.
+type StageObserver interface {
+	Observe(n int, d time.Duration)
+}
+
 // validateUser runs the §4 pipeline — visit detection then matching —
 // for one user. It is pure: both the in-memory and streaming paths call
 // it, which is what makes their outputs identical.
 func validateUser(u *trace.User, db *poi.DB, params Params, vcfg visits.Config) (UserOutcome, error) {
+	return validateUserSpans(u, db, params, vcfg, nil, nil)
+}
+
+// validateUserSpans is validateUser with optional per-stage
+// instrumentation. seg and match must be nil interfaces — not typed nil
+// pointers — when spans are disabled: the nil checks below are what
+// keeps the uninstrumented path free of clock reads, so outputs (which
+// never depend on the observed times) and performance both stay exactly
+// as before.
+func validateUserSpans(u *trace.User, db *poi.DB, params Params, vcfg visits.Config, seg, match StageObserver) (UserOutcome, error) {
+	var t0 time.Time
+	if seg != nil {
+		t0 = time.Now()
+	}
 	vs, err := visits.Detect(u.GPS, vcfg, db)
+	if seg != nil {
+		seg.Observe(1, time.Since(t0))
+	}
 	if err != nil {
 		return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
 	}
+	if match != nil {
+		t0 = time.Now()
+	}
 	res, err := MatchUser(u.Checkins, vs, params)
+	if match != nil {
+		match.Observe(1, time.Since(t0))
+	}
 	if err != nil {
 		return UserOutcome{}, fmt.Errorf("core: user %d: %w", u.ID, err)
 	}
@@ -151,6 +182,17 @@ func (p *Partition) Add(o UserOutcome) {
 func (v *Validator) ValidateUser(u *trace.User, db *poi.DB) (UserOutcome, error) {
 	params, vcfg := v.resolve()
 	return validateUser(u, db, params, vcfg)
+}
+
+// ValidateUserSpans is ValidateUser with per-stage instrumentation:
+// seg observes the visit-detection (segment) stage and match the
+// checkin-matching stage, each as (1 user, wall time). Pass nil
+// interfaces to disable either; the outcome is identical to
+// ValidateUser in all cases — observers only ever receive timings,
+// they never influence the pipeline.
+func (v *Validator) ValidateUserSpans(u *trace.User, db *poi.DB, seg, match StageObserver) (UserOutcome, error) {
+	params, vcfg := v.resolve()
+	return validateUserSpans(u, db, params, vcfg, seg, match)
 }
 
 // UpdateUser re-runs the §4 pipeline for one user whose trace changed —

@@ -1,0 +1,72 @@
+package obs
+
+// Shared command-line surface: every tool that logs registers the same
+// -log-level / -log-format / -quiet / -version flags through CLIFlags,
+// so the flags parse identically across binaries and a tool's logger is
+// built in one call.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+)
+
+// CLIFlags holds the observability flag values for one tool after
+// parsing. Register with RegisterCLIFlags, then call PrintVersion and
+// Logger once flags are parsed.
+type CLIFlags struct {
+	tool    string
+	level   string
+	format  string
+	quiet   bool
+	version bool
+}
+
+// RegisterCLIFlags registers the shared observability flags on fs.
+func RegisterCLIFlags(fs *flag.FlagSet, tool string) *CLIFlags {
+	c := &CLIFlags{tool: tool}
+	fs.StringVar(&c.level, "log-level", "info", "log verbosity: debug, info, warn, error, off")
+	fs.StringVar(&c.format, "log-format", "text", "log line format: text (key=value) or json")
+	fs.BoolVar(&c.quiet, "quiet", false, "suppress all log output (same as -log-level off)")
+	fs.BoolVar(&c.version, "version", false, "print the tool version and exit")
+	return c
+}
+
+// RegisterVersionFlag registers only -version, for tools that have no
+// log output of their own. Pair with PrintVersionIf after parsing.
+func RegisterVersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print the tool version and exit")
+}
+
+// PrintVersionIf writes "tool version" to w when requested and reports
+// whether the caller should exit.
+func PrintVersionIf(requested bool, w io.Writer, tool string) bool {
+	if requested {
+		fmt.Fprintln(w, VersionString(tool))
+	}
+	return requested
+}
+
+// PrintVersion writes "tool version" to w when -version was given and
+// reports whether the caller should exit.
+func (c *CLIFlags) PrintVersion(w io.Writer) bool {
+	return PrintVersionIf(c.version, w, c.tool)
+}
+
+// Logger builds the configured logger writing to w (conventionally
+// stderr, so reports and JSON documents on stdout stay clean). -quiet
+// wins over -log-level.
+func (c *CLIFlags) Logger(w io.Writer) (*Logger, error) {
+	lv, err := ParseLevel(c.level)
+	if err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	if c.quiet {
+		lv = LevelOff
+	}
+	format, err := ParseLogFormat(c.format)
+	if err != nil {
+		return nil, fmt.Errorf("-log-format: %w", err)
+	}
+	return NewLogger(w, lv, format, c.tool), nil
+}

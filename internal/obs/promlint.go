@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text-exposition payload for the
+// structural rules a scraper relies on and returns every violation
+// found. It is shared by cmd/metriclint (the CI smoke checker) and the
+// serve tests, so the format served on /metrics and the format CI
+// accepts can never drift apart.
+//
+// Checks:
+//   - metric and label names match the Prometheus grammar
+//   - every sample is preceded by HELP/TYPE lines for its family, each
+//     appearing at most once, and families are contiguous
+//   - label syntax: quoted values with only \\, \" and \n escapes
+//   - sample values parse as Go floats (NaN/+Inf/-Inf allowed)
+//   - no duplicate sample (same name + label set)
+//   - histogram families: cumulative buckets are monotonically
+//     non-decreasing, end in le="+Inf", and the +Inf bucket equals the
+//     family's _count sample (per label set)
+func LintExposition(payload []byte) []error {
+	l := &linter{
+		seenSamples: map[string]int{},
+		families:    map[string]*lintFamily{},
+	}
+	lines := strings.Split(string(payload), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			if i != len(lines)-1 {
+				l.errf(ln, "blank line inside exposition body")
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			l.meta(ln, line)
+			continue
+		}
+		l.sample(ln, line)
+	}
+	l.finishHistograms()
+	return l.errs
+}
+
+type lintFamily struct {
+	help, typ bool
+	typName   string
+	closed    bool // a different family appeared after this one
+	// histogram accounting, keyed by non-le label signature
+	buckets map[string][]bucketSample
+	counts  map[string]float64
+	hasCnt  map[string]bool
+}
+
+type bucketSample struct {
+	le    float64
+	leRaw string
+	val   float64
+	line  int
+}
+
+type linter struct {
+	errs        []error
+	seenSamples map[string]int
+	families    map[string]*lintFamily
+	current     string // family of the most recent line
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func (l *linter) errf(line int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+// fam returns the family record for a base name, creating it.
+func (l *linter) fam(name string) *lintFamily {
+	f := l.families[name]
+	if f == nil {
+		f = &lintFamily{buckets: map[string][]bucketSample{}, counts: map[string]float64{}, hasCnt: map[string]bool{}}
+		l.families[name] = f
+	}
+	return f
+}
+
+// enter tracks family contiguity: once we move on from a family, it
+// must not reappear.
+func (l *linter) enter(line int, name string) *lintFamily {
+	if l.current != "" && l.current != name {
+		l.families[l.current].closed = true
+	}
+	f := l.fam(name)
+	if f.closed {
+		l.errf(line, "family %q is not contiguous (reappears after other families)", name)
+		f.closed = false // report once
+	}
+	l.current = name
+	return f
+}
+
+func (l *linter) meta(line int, s string) {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		// Plain comments are legal; ignore.
+		if strings.HasPrefix(s, "# HELP") || strings.HasPrefix(s, "# TYPE") {
+			l.errf(line, "malformed metadata line: %q", s)
+		}
+		return
+	}
+	name := fields[2]
+	if !metricNameRE.MatchString(name) {
+		l.errf(line, "invalid metric name %q in %s line", name, fields[1])
+		return
+	}
+	f := l.enter(line, name)
+	switch fields[1] {
+	case "HELP":
+		if f.help {
+			l.errf(line, "duplicate HELP for %q", name)
+		}
+		f.help = true
+	case "TYPE":
+		if f.typ {
+			l.errf(line, "duplicate TYPE for %q", name)
+		}
+		if !f.help {
+			l.errf(line, "TYPE for %q precedes its HELP line", name)
+		}
+		f.typ = true
+		if len(fields) < 4 {
+			l.errf(line, "TYPE line for %q missing type", name)
+			return
+		}
+		f.typName = fields[4-1]
+		switch f.typName {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(line, "unknown metric type %q for %q", f.typName, name)
+		}
+	}
+}
+
+// sample parses one sample line: name[{labels}] value [timestamp].
+func (l *linter) sample(line int, s string) {
+	name := s
+	labelPart := ""
+	rest := ""
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		name = s[:i]
+		j := strings.LastIndexByte(s, '}')
+		if j < i {
+			l.errf(line, "unterminated label set: %q", s)
+			return
+		}
+		labelPart = s[i+1 : j]
+		rest = strings.TrimSpace(s[j+1:])
+	} else if i := strings.IndexByte(s, ' '); i >= 0 {
+		name = s[:i]
+		rest = strings.TrimSpace(s[i+1:])
+	}
+	if !metricNameRE.MatchString(name) {
+		l.errf(line, "invalid metric name %q", name)
+		return
+	}
+	base := familyBase(name)
+	f := l.enter(line, base)
+	if !f.help || !f.typ {
+		l.errf(line, "sample %q not preceded by HELP and TYPE for family %q", name, base)
+	}
+	labels, le, ok := l.parseLabels(line, labelPart)
+	if !ok {
+		return
+	}
+	valStr := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 { // optional timestamp
+		valStr = rest[:i]
+	}
+	val, err := parseSampleValue(valStr)
+	if err != nil {
+		l.errf(line, "sample %q has unparseable value %q", name, valStr)
+		return
+	}
+	sig := name + "{" + labels + "}"
+	if le != nil {
+		sig += `{le=` + *le + `}`
+	}
+	if prev, dup := l.seenSamples[sig]; dup {
+		l.errf(line, "duplicate sample %s (first at line %d)", sig, prev)
+	} else {
+		l.seenSamples[sig] = line
+	}
+
+	if f.typName == "histogram" {
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == nil {
+				l.errf(line, "histogram bucket %q missing le label", name)
+				return
+			}
+			lv, err := parseSampleValue(*le)
+			if err != nil {
+				l.errf(line, "histogram bucket %q has unparseable le=%q", name, *le)
+				return
+			}
+			f.buckets[labels] = append(f.buckets[labels], bucketSample{le: lv, leRaw: *le, val: val, line: line})
+		case strings.HasSuffix(name, "_count"):
+			f.counts[labels] = val
+			f.hasCnt[labels] = true
+		}
+	}
+}
+
+// parseLabels validates label syntax and returns a canonical signature
+// of the non-le labels plus the le value if present.
+func (l *linter) parseLabels(line int, s string) (sig string, le *string, ok bool) {
+	if s == "" {
+		return "", nil, true
+	}
+	var parts []string
+	rest := s
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			l.errf(line, "malformed label pair in %q", s)
+			return "", nil, false
+		}
+		name := rest[:eq]
+		if !labelNameRE.MatchString(name) {
+			l.errf(line, "invalid label name %q", name)
+			return "", nil, false
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			l.errf(line, "label %q value not quoted", name)
+			return "", nil, false
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					l.errf(line, "dangling escape in label %q", name)
+					return "", nil, false
+				}
+				nxt := rest[i+1]
+				if nxt != '\\' && nxt != '"' && nxt != 'n' {
+					l.errf(line, "invalid escape \\%c in label %q", nxt, name)
+					return "", nil, false
+				}
+				val.WriteByte(nxt)
+				i++
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			l.errf(line, "unterminated label value for %q", name)
+			return "", nil, false
+		}
+		if name == "le" {
+			v := val.String()
+			le = &v
+		} else {
+			parts = append(parts, name+"="+val.String())
+		}
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return strings.Join(parts, ","), le, true
+}
+
+// finishHistograms runs the cross-sample histogram checks once every
+// line has been seen.
+func (l *linter) finishHistograms() {
+	for name, f := range l.families {
+		if f.typName != "histogram" {
+			continue
+		}
+		for labels, bs := range f.buckets {
+			where := name
+			if labels != "" {
+				where += "{" + labels + "}"
+			}
+			last := math.Inf(-1)
+			prevVal := -1.0
+			for _, b := range bs {
+				if b.le <= last {
+					l.errf(b.line, "histogram %s bucket bounds not increasing (le=%s)", where, b.leRaw)
+				}
+				last = b.le
+				if b.val < prevVal {
+					l.errf(b.line, "histogram %s cumulative bucket counts decrease at le=%s", where, b.leRaw)
+				}
+				prevVal = b.val
+			}
+			final := bs[len(bs)-1]
+			if !math.IsInf(final.le, +1) {
+				l.errf(final.line, "histogram %s buckets do not end in le=\"+Inf\"", where)
+				continue
+			}
+			if f.hasCnt[labels] && final.val != f.counts[labels] {
+				l.errf(final.line, "histogram %s +Inf bucket (%g) != _count (%g)", where, final.val, f.counts[labels])
+			}
+			if !f.hasCnt[labels] {
+				l.errf(final.line, "histogram %s has buckets but no _count sample", where)
+			}
+		}
+	}
+}
+
+// parseSampleValue parses a sample or le value per the exposition spec.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyBase strips the histogram/summary sample suffixes so _bucket,
+// _sum and _count lines group under their family name.
+func familyBase(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}

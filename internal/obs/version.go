@@ -1,0 +1,16 @@
+package obs
+
+// Version identifies the build. It defaults to "dev" and is injected
+// at link time for release builds:
+//
+//	go build -ldflags "-X geosocial/internal/obs.Version=v1.2.3" ./cmd/...
+//
+// Every cmd binary's -version flag prints it, geoserve exposes it as
+// the geoserve_build_info gauge's version label, and /healthz carries
+// it in the version field.
+var Version = "dev"
+
+// VersionString renders the standard "-version" output for a tool.
+func VersionString(tool string) string {
+	return tool + " " + Version
+}

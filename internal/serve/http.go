@@ -11,8 +11,8 @@ package serve
 //	GET  /v1/datasets/{id}/taxonomy   the §5.1 taxonomy only
 //	GET  /v1/datasets/{id}/outcomes   the raw GSO1 outcome log bytes
 //	GET  /v1/datasets/{id}/analysis/{kind}  a §5–§7 analysis over the log
-//	GET  /healthz                     liveness probe
-//	GET  /metrics                     plain-text counters
+//	GET  /healthz                     liveness probe (JSON status + build version)
+//	GET  /metrics                     Prometheus text-exposition metrics
 //
 // All JSON responses are encoded exactly like geovalidate -json
 // (two-space indent), so service output and CLI output on the same
@@ -28,8 +28,10 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"geosocial/internal/core"
+	"geosocial/internal/obs"
 )
 
 // maxUploadBytes caps an upload request body (1 GiB, far above any
@@ -53,8 +55,20 @@ func (s *Server) initMux() {
 	s.mux = mux
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request is timed and
+// counted into the per-route HTTP metrics, labeled by the mux pattern
+// it matched (never the raw URL, so label cardinality stays bounded by
+// the route table).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := "unmatched"
+	if _, pattern := s.mux.Handler(r); pattern != "" {
+		route = pattern
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	t0 := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.sm.observeRequest(route, sw.status, time.Since(t0))
+}
 
 // writeJSON writes v in the shared presentation encoding
 // (core.WriteIndentedJSON — the same call geovalidate -json makes), so
@@ -384,7 +398,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	key := info.ID + "." + kind
 	fromCache := true
 	for {
-		if data, hit := s.cache.Get(key); hit {
+		if data, hit := s.cacheGet(key); hit {
 			if !json.Valid(data) {
 				// Torn disk write: drop the entry and recompute instead of
 				// serving garbage with a 200.
@@ -454,38 +468,31 @@ func (s *Server) runAnalysis(info JobInfo, key, kind string) (data []byte, errSt
 	if aerr != nil {
 		return nil, http.StatusInternalServerError, fmt.Errorf("analysis failed: %v", aerr)
 	}
-	s.metrics.Lock()
-	s.metrics.analyses++
-	s.metrics.Unlock()
-	s.cache.Put(key, data)
+	s.sm.analyses.Inc()
+	s.cachePut(key, data)
 	s.logf("serve: %s: computed %s analysis (%s)", info.Path, kind, shortID(info.ID))
 	return data, 0, nil
 }
 
-// handleHealthz is the liveness probe.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+// healthzBody is the liveness response.
+type healthzBody struct {
+	Status  string `json:"status"`
+	Version string `json:"version"`
 }
 
-// handleMetrics serves the plain-text counters.
+// handleHealthz is the liveness probe; the body carries the build
+// version so a probe can also tell what is deployed.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzBody{Status: "ok", Version: obs.Version})
+}
+
+// handleMetrics serves the instrument registry in Prometheus text
+// exposition format. Every counter name the old hand-printed endpoint
+// exposed survives with identical value semantics (pinned by the
+// back-compat test); the exposition adds HELP/TYPE metadata,
+// histograms, per-route HTTP metrics, and — when a span collector is
+// configured — per-stage pipeline timings.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "geoserve_datasets_validated_total %d\n", m.DatasetsValidated)
-	fmt.Fprintf(w, "geoserve_validate_failures_total %d\n", m.ValidateFailures)
-	fmt.Fprintf(w, "geoserve_users_validated_total %d\n", m.UsersValidated)
-	fmt.Fprintf(w, "geoserve_users_per_second %.1f\n", m.UsersPerSecond)
-	fmt.Fprintf(w, "geoserve_uploads_total %d\n", m.Uploads)
-	fmt.Fprintf(w, "geoserve_analyses_total %d\n", m.AnalysesRun)
-	fmt.Fprintf(w, "geoserve_incremental_updates_total %d\n", m.IncrementalUpdates)
-	fmt.Fprintf(w, "geoserve_cache_hits_total %d\n", m.CacheHits)
-	fmt.Fprintf(w, "geoserve_cache_memory_hits_total %d\n", m.CacheMemoryHits)
-	fmt.Fprintf(w, "geoserve_cache_disk_hits_total %d\n", m.CacheDiskHits)
-	fmt.Fprintf(w, "geoserve_cache_misses_total %d\n", m.CacheMisses)
-	fmt.Fprintf(w, "geoserve_cache_entries %d\n", m.CacheEntries)
-	fmt.Fprintf(w, "geoserve_cache_capacity %d\n", m.CacheCapacity)
-	fmt.Fprintf(w, "geoserve_jobs_pending %d\n", m.JobsPending)
-	fmt.Fprintf(w, "geoserve_jobs_running %d\n", m.JobsRunning)
-	fmt.Fprintf(w, "geoserve_uptime_seconds %.1f\n", m.Uptime.Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.sm.reg.WritePrometheus(w) //nolint:errcheck // nothing to do about a failed write
 }

@@ -42,6 +42,7 @@ import (
 
 	"geosocial/internal/checkpoint"
 	"geosocial/internal/core"
+	"geosocial/internal/obs"
 	"geosocial/internal/trace"
 )
 
@@ -159,6 +160,17 @@ type Config struct {
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (discovered, validated, failed, cache hit).
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives every geoserve_* instrument and
+	// backs the /metrics exposition. Each Server registers its metric
+	// names once, so a Registry serves at most one Server; nil makes a
+	// private registry.
+	Registry *obs.Registry
+	// Spans, when non-nil, collects the server's own cache-tier and
+	// append-apply span timings and is exported on /metrics as the
+	// geoserve_stage_ops_total / geoserve_stage_seconds_total families.
+	// The facade shares one collector between this and the validation
+	// pipeline, so pipeline stages appear on /metrics too.
+	Spans *obs.Collector
 }
 
 // Status is a job's lifecycle state.
@@ -262,16 +274,17 @@ type Server struct {
 	wg    sync.WaitGroup
 	start time.Time
 
-	metrics struct {
-		sync.Mutex
-		validated    int64 // validations actually run to completion
-		failures     int64 // validations that returned an error
-		users        int64 // users across completed validations
-		validateTime time.Duration
-		uploads      int64
-		analyses     int64 // log-backed analyses actually run (not cache hits)
-		updates      int64 // validations satisfied by the incremental path
-	}
+	// sm holds the registered service instruments (see metrics.go).
+	sm *serverMetrics
+
+	// Span cells for the server's own stages (nil without Config.Spans;
+	// a nil cell is a no-op). Cache cells are keyed by operation in the
+	// shard dimension so /metrics attributes cache traffic per call
+	// kind.
+	spanCacheGet  *obs.Cell
+	spanCachePut  *obs.Cell
+	spanCachePeek *obs.Cell
+	spanAppend    *obs.Cell
 }
 
 // New validates the configuration, creates the spool directory, and
@@ -347,6 +360,15 @@ func New(cfg Config) (*Server, error) {
 	if s.poll == 0 {
 		s.poll = 2 * time.Second
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.sm = newServerMetrics(reg, s, cfg.Spans)
+	s.spanCacheGet = cfg.Spans.Stage("cache-tier", "get")
+	s.spanCachePut = cfg.Spans.Stage("cache-tier", "put")
+	s.spanCachePeek = cfg.Spans.Stage("cache-tier", "peek")
+	s.spanAppend = cfg.Spans.Stage("append-apply", "serve")
 	s.initMux()
 	if s.poll > 0 {
 		s.wg.Add(1)
@@ -478,6 +500,10 @@ func (s *Server) Append(id string, r io.Reader) (JobInfo, error) {
 	lock := s.appendLock(path)
 	lock.Lock()
 	defer lock.Unlock()
+	var t0 time.Time
+	if s.spanAppend != nil {
+		t0 = time.Now()
+	}
 	aw, err := trace.OpenAppend(path)
 	if err != nil {
 		return JobInfo{}, fmt.Errorf("serve: append: %w", err)
@@ -489,6 +515,9 @@ func (s *Server) Append(id string, r io.Reader) (JobInfo, error) {
 		return JobInfo{}, fmt.Errorf("serve: append: %w", err)
 	}
 	sum, err := DatasetChecksum(path)
+	if s.spanAppend != nil {
+		s.spanAppend.Observe(1, time.Since(t0))
+	}
 	if err != nil {
 		return JobInfo{}, err
 	}
@@ -573,7 +602,7 @@ func (s *Server) register(path, sum, appendFrom string) (JobInfo, error) {
 
 	// The cache lookup may touch the disk tier, so it runs outside s.mu
 	// (a slow disk must not stall every handler behind this register).
-	data, hit := s.cache.Get(sum)
+	data, hit := s.cacheGet(sum)
 	if logMissing {
 		hit = false // a result without its outcome log is not complete
 	}
@@ -611,6 +640,45 @@ func (s *Server) register(path, sum, appendFrom string) (JobInfo, error) {
 	s.logf("serve: %s: queued (%s)", j.info.Path, shortID(sum))
 	s.enqueueLocked(j, path)
 	return j.info, nil
+}
+
+// cacheGet / cachePut / cachePeek wrap the result cache so the
+// cache-tier span (when a collector is configured) attributes time and
+// traffic per operation. A nil cell costs nothing — not even a clock
+// read.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	var t0 time.Time
+	if s.spanCacheGet != nil {
+		t0 = time.Now()
+	}
+	data, hit := s.cache.Get(key)
+	if s.spanCacheGet != nil {
+		s.spanCacheGet.Observe(1, time.Since(t0))
+	}
+	return data, hit
+}
+
+func (s *Server) cachePut(key string, data []byte) {
+	var t0 time.Time
+	if s.spanCachePut != nil {
+		t0 = time.Now()
+	}
+	s.cache.Put(key, data)
+	if s.spanCachePut != nil {
+		s.spanCachePut.Observe(1, time.Since(t0))
+	}
+}
+
+func (s *Server) cachePeek(key string) ([]byte, bool) {
+	var t0 time.Time
+	if s.spanCachePeek != nil {
+		t0 = time.Now()
+	}
+	data, hit := s.cache.Peek(key)
+	if s.spanCachePeek != nil {
+		s.spanCachePeek.Observe(1, time.Since(t0))
+	}
+	return data, hit
 }
 
 // shortID abbreviates a checksum for log lines.
@@ -703,24 +771,26 @@ func (s *Server) runJob(j *job, path string) {
 		encoded, err = res.Encode()
 	}
 
-	s.metrics.Lock()
 	if err != nil {
-		s.metrics.failures++
+		s.sm.failures.Inc()
 	} else {
-		s.metrics.validated++
-		s.metrics.users += int64(res.Users)
-		s.metrics.validateTime += elapsed
+		s.sm.validated.Inc()
+		s.sm.users.Add(int64(res.Users))
+		s.sm.validateNanos.Add(int64(elapsed))
+		s.sm.validateSeconds.Observe(elapsed.Seconds())
+		if secs := elapsed.Seconds(); secs > 0 {
+			s.sm.validateRate.Observe(float64(res.Users) / secs)
+		}
 		if updated {
-			s.metrics.updates++
+			s.sm.updates.Inc()
 		}
 	}
-	s.metrics.Unlock()
 
 	if err == nil {
 		// Publish to the cache (which may write the disk tier) before
 		// taking s.mu: by the time the job flips to done, the result is
 		// fetchable, and the file write never blocks other handlers.
-		s.cache.Put(j.info.ID, encoded)
+		s.cachePut(j.info.ID, encoded)
 		if s.outcomesDir != "" && !noLog {
 			s.outcomeLogs.Lock()
 			s.outcomeLogs.count++
@@ -767,7 +837,7 @@ func (s *Server) previousRun(id string) (prev *core.StreamResult, prevLog string
 	// Peek, not Get: this lookup is the server talking to itself, so it
 	// must not inflate the client-facing hit counters or reorder the
 	// LRU.
-	data, hit := s.cache.Peek(id)
+	data, hit := s.cachePeek(id)
 	if !hit {
 		return nil, "", false
 	}
@@ -839,7 +909,7 @@ func (s *Server) result(id string) (data []byte, info JobInfo, ok bool) {
 	s.mu.Unlock()
 
 	// The cache lookup may read the disk tier; never under s.mu.
-	if data, ok = s.cache.Get(id); ok {
+	if data, ok = s.cacheGet(id); ok {
 		return data, info, true
 	}
 
@@ -955,7 +1025,7 @@ func (s *Server) Upload(r io.Reader) (JobInfo, error) {
 	}
 	tmpPath := tmp.Name()
 	h := sha256.New()
-	_, err = io.Copy(io.MultiWriter(tmp, h), r)
+	size, err := io.Copy(io.MultiWriter(tmp, h), r)
 	// The spool file is the upload's only durable copy, so its bytes
 	// must reach the disk before the rename can publish the name: a
 	// crash after an unsynced rename could leave the name pointing at
@@ -972,9 +1042,8 @@ func (s *Server) Upload(r io.Reader) (JobInfo, error) {
 	}
 	sum := hex.EncodeToString(h.Sum(nil))
 
-	s.metrics.Lock()
-	s.metrics.uploads++
-	s.metrics.Unlock()
+	s.sm.uploads.Inc()
+	s.sm.uploadBytes.Observe(float64(size))
 
 	// The full checksum names the file, so renaming over an existing
 	// upload can only replace identical bytes. Whether the name already
@@ -1241,33 +1310,23 @@ type Metrics struct {
 	Uptime             time.Duration // since New
 }
 
-// Snapshot collects the current Metrics.
+// Snapshot collects the current Metrics. It reads the same registered
+// instruments /metrics serves, so the two views can never disagree.
 func (s *Server) Snapshot() Metrics {
 	var m Metrics
-	s.metrics.Lock()
-	m.DatasetsValidated = s.metrics.validated
-	m.ValidateFailures = s.metrics.failures
-	m.UsersValidated = s.metrics.users
-	m.ValidateTime = s.metrics.validateTime
-	m.Uploads = s.metrics.uploads
-	m.AnalysesRun = s.metrics.analyses
-	m.IncrementalUpdates = s.metrics.updates
-	s.metrics.Unlock()
+	m.DatasetsValidated = s.sm.validated.Value()
+	m.ValidateFailures = s.sm.failures.Value()
+	m.UsersValidated = s.sm.users.Value()
+	m.ValidateTime = time.Duration(s.sm.validateNanos.Load())
+	m.Uploads = s.sm.uploads.Value()
+	m.AnalysesRun = s.sm.analyses.Value()
+	m.IncrementalUpdates = s.sm.updates.Value()
 	if m.ValidateTime > 0 {
 		m.UsersPerSecond = float64(m.UsersValidated) / m.ValidateTime.Seconds()
 	}
 	m.CacheMemoryHits, m.CacheDiskHits, m.CacheMisses, m.CacheEntries, m.CacheCapacity = s.cache.Stats()
 	m.CacheHits = m.CacheMemoryHits + m.CacheDiskHits
-	s.mu.Lock()
-	for _, j := range s.jobs {
-		switch j.info.Status {
-		case StatusPending:
-			m.JobsPending++
-		case StatusRunning:
-			m.JobsRunning++
-		}
-	}
-	s.mu.Unlock()
+	m.JobsPending, m.JobsRunning = s.jobCounts()
 	m.Uptime = time.Since(s.start)
 	return m
 }

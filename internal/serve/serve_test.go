@@ -864,9 +864,14 @@ func TestHTTPLifecycle(t *testing.T) {
 
 	// Liveness and metrics.
 	resp = get(t, ts.URL+"/healthz")
-	body := readBody(t, resp)
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
-		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	healthCode := resp.StatusCode
+	decodeBody(t, resp, &health)
+	if healthCode != http.StatusOK || health.Status != "ok" || health.Version == "" {
+		t.Fatalf("healthz: %d %+v", healthCode, health)
 	}
 	resp = get(t, ts.URL+"/metrics")
 	metrics := string(readBody(t, resp))

@@ -1,0 +1,94 @@
+package geosocial
+
+// TestInstrumentationPreservesBytes is the observability layer's hard
+// acceptance contract: attaching a span collector must not change a
+// single output byte. The StreamResult JSON document and the GSO1
+// outcome log of an instrumented run are compared byte-for-byte against
+// an uninstrumented run, for a single binary file and a shard-set
+// manifest, at workers 1 and 8.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geosocial/internal/core"
+	"geosocial/internal/obs"
+	"geosocial/internal/trace"
+)
+
+func TestInstrumentationPreservesBytes(t *testing.T) {
+	s := getStudy(t)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "primary.bin.gz")
+	if err := s.Primary.SaveFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := s.Primary.SaveShards(t.TempDir(), trace.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// runOnce validates in with or without a span collector and returns
+	// the result's JSON document and the outcome log bytes.
+	runOnce := func(t *testing.T, in string, workers int, spans *obs.Collector) (doc, gso []byte) {
+		t.Helper()
+		logPath := filepath.Join(t.TempDir(), "out.gso")
+		res, err := ValidateFileOpts(in, StreamOptions{
+			Workers:    workers,
+			OutcomeLog: logPath,
+			Spans:      spans,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := core.WriteIndentedJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		gso, err = os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), gso
+	}
+
+	for _, in := range []string{binPath, manifest} {
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("%s/workers=%d", filepath.Base(in), workers)
+			t.Run(name, func(t *testing.T) {
+				plainDoc, plainGSO := runOnce(t, in, workers, nil)
+				spans := obs.NewCollector()
+				instrDoc, instrGSO := runOnce(t, in, workers, spans)
+
+				if !bytes.Equal(plainDoc, instrDoc) {
+					t.Error("StreamResult JSON differs between instrumented and uninstrumented runs")
+				}
+				if !bytes.Equal(plainGSO, instrGSO) {
+					t.Error("outcome log bytes differ between instrumented and uninstrumented runs")
+				}
+
+				// Guard against a vacuous pass: the collector must have
+				// seen real pipeline work.
+				rep := spans.Report()
+				if len(rep.Stages) == 0 || rep.TotalOps == 0 {
+					t.Fatalf("collector recorded no spans: %+v", rep)
+				}
+				for _, want := range []string{"decode", "match", "classify"} {
+					found := false
+					for _, st := range rep.Stages {
+						if st.Stage == want {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("stage %q missing from span report (got %+v)", want, rep.Stages)
+					}
+				}
+			})
+		}
+	}
+}

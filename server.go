@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"geosocial/internal/core"
+	"geosocial/internal/obs"
 	"geosocial/internal/serve"
 	"geosocial/internal/visits"
 )
@@ -85,6 +86,14 @@ type ServerOptions struct {
 	CheckpointStale time.Duration
 	// Logf, when non-nil, receives one line per service lifecycle event.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives every geoserve_* instrument and
+	// backs the /metrics exposition (one Server per Registry). Nil makes
+	// a private registry; /metrics works either way.
+	Registry *obs.Registry
+	// Stream.Spans, when set, is shared with the service layer: the
+	// validation pipeline's stage spans and the service's own cache-tier
+	// and append-apply spans land in one collector, exported on /metrics
+	// as the geoserve_stage_*_total families.
 }
 
 // NewServer constructs the validation service: a spool-watching,
@@ -111,6 +120,8 @@ func NewServer(opts ServerOptions) (*serve.Server, error) {
 		MaxCheckpointRuns:   opts.MaxCheckpointRuns,
 		PollInterval:        opts.PollInterval,
 		Logf:                opts.Logf,
+		Registry:            opts.Registry,
+		Spans:               opts.Stream.Spans,
 		Validate: func(path string, workers int, outcomeLog, checkpointDir string) (*StreamResult, error) {
 			o := opts.Stream
 			o.Workers = workers

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"geosocial/internal/classify"
 	"geosocial/internal/core"
+	"geosocial/internal/obs"
 	"geosocial/internal/outcome"
 	"geosocial/internal/par"
 	"geosocial/internal/poi"
@@ -189,22 +191,52 @@ func UpdateValidation(path string, prev *StreamResult, prevLog string, opts Stre
 	}
 	outs, err := par.Map(opts.Workers, len(touched), func(i int) (updOut, error) {
 		id := touched[i]
+		// Span cells for the incremental path, attributed to the user's
+		// home shard. Stage lookups are get-or-create under a mutex —
+		// once per touched user, not per record — and skipped entirely
+		// when spans are off.
+		var foldCell, clsCell *obs.Cell
+		var segObs, matchObs core.StageObserver
+		if opts.Spans != nil {
+			home, ok := homeShard[id]
+			if !ok {
+				home = newHome[id]
+			}
+			label := ss.Manifest.Shards[home].File
+			foldCell = opts.Spans.Stage("fold", label)
+			clsCell = opts.Spans.Stage("classify", label)
+			segObs = opts.Spans.Stage("segment", label)
+			matchObs = opts.Spans.Stage("match", label)
+		}
 		var u *trace.User
 		var err error
+		var t0 time.Time
+		if foldCell != nil {
+			t0 = time.Now()
+		}
 		if chain := chains[id]; len(chain) > 0 {
 			deltas := append(append([]*trace.User(nil), chain[1:]...), newFrames[id]...)
 			u, err = trace.FoldUser(chain[0], deltas)
 		} else {
 			u, err = trace.FoldUser(newFrames[id][0], newFrames[id][1:])
 		}
+		if foldCell != nil {
+			foldCell.Observe(1, time.Since(t0))
+		}
 		if err != nil {
 			return updOut{}, err
 		}
-		o, err := v.ValidateUser(u, db)
+		o, err := v.ValidateUserSpans(u, db, segObs, matchObs)
 		if err != nil {
 			return updOut{}, err
+		}
+		if clsCell != nil {
+			t0 = time.Now()
 		}
 		cl, err := classify.ClassifyUser(o, clsParams)
+		if clsCell != nil {
+			clsCell.Observe(1, time.Since(t0))
+		}
 		if err != nil {
 			return updOut{}, fmt.Errorf("classify: user %d: %w", o.User.ID, err)
 		}
